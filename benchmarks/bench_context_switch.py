@@ -1,0 +1,71 @@
+"""Reproduces the Section V context-switch comparison (the ~2900x claim).
+
+The paper: reconfiguring the depth-8 V1 overlay region takes 0.73 ms over the
+PCAP (1.02 ms for V2), plus 0.29 us to load the largest benchmark's
+configuration data; a hardware context switch on the fixed-depth V3 overlay
+only rewrites the FU instruction memories and takes ~0.25 us — a ~2900x
+reduction.  This harness regenerates all of those numbers from the
+configuration images the code generator actually produces.
+"""
+
+import pytest
+
+from repro.kernels import TABLE3_BENCHMARKS, get_kernel
+from repro.overlay.architecture import LinearOverlay
+from repro.overlay.context_switch import (
+    context_switch_reduction,
+    context_switch_time_s,
+    pcap_configuration_time_s,
+    reconfigurable_region,
+)
+from repro.overlay.fu import V1, V2, V3
+from repro.program.binary import build_configuration_image
+from repro.schedule import schedule_kernel
+
+
+def _context_switch_study():
+    rows = []
+    largest = max(TABLE3_BENCHMARKS, key=lambda n: get_kernel(n).num_operations)
+    dfg = get_kernel(largest)
+
+    v1_overlay = LinearOverlay(variant=V1, depth=8)
+    v2_overlay = LinearOverlay(variant=V2, depth=8)
+    v3_overlay = LinearOverlay.fixed(V3, 8)
+
+    v3_image = build_configuration_image(schedule_kernel(dfg, v3_overlay))
+    v1_image = build_configuration_image(
+        schedule_kernel(dfg, LinearOverlay.for_kernel(V1, dfg))
+    )
+
+    v1_switch = context_switch_time_s(v1_overlay, v1_image.total_words)
+    v2_switch = context_switch_time_s(v2_overlay, v1_image.total_words)
+    v3_switch = context_switch_time_s(v3_overlay, v3_image.total_words)
+    ratio = context_switch_reduction(v1_switch, v3_switch)
+
+    rows.append(("largest benchmark", largest, f"{dfg.num_operations} ops"))
+    rows.append(("V1 region (CLB, DSP tiles)", *map(str, reconfigurable_region(V1, 8))))
+    rows.append(("V2 region (CLB, DSP tiles)", *map(str, reconfigurable_region(V2, 8))))
+    rows.append(("V1 PCAP time", f"{pcap_configuration_time_s(V1, 8) * 1e3:.2f} ms", "paper 0.73 ms"))
+    rows.append(("V2 PCAP time", f"{pcap_configuration_time_s(V2, 8) * 1e3:.2f} ms", "paper 1.02 ms"))
+    rows.append(
+        ("V1 config-data load", f"{v1_switch.instruction_load_time_s * 1e6:.2f} us", "paper 0.29 us")
+    )
+    rows.append(
+        ("V3 context switch", f"{v3_switch.total_time_s * 1e6:.2f} us", "paper 0.25 us")
+    )
+    rows.append(("reduction V1 -> V3", f"{ratio:.0f}x", "paper ~2900x"))
+    return rows, v1_switch, v2_switch, v3_switch, ratio
+
+
+def test_context_switch_reduction(benchmark, save_result):
+    rows, v1_switch, v2_switch, v3_switch, ratio = benchmark(_context_switch_study)
+    text = "Section V: hardware context switch comparison\n" + "\n".join(
+        "  " + "  |  ".join(str(c) for c in row) for row in rows
+    )
+    save_result("context_switch", text)
+
+    assert v1_switch.pcap_time_s == pytest.approx(0.73e-3, rel=0.05)
+    assert v2_switch.pcap_time_s == pytest.approx(1.02e-3, rel=0.05)
+    assert not v3_switch.requires_partial_reconfiguration
+    assert v3_switch.total_time_s < 1e-6
+    assert 1000 <= ratio <= 5000

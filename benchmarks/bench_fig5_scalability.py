@@ -1,0 +1,54 @@
+"""Reproduces paper Fig. 5: V1/V2 overlay scalability on the Zynq XC7Z020.
+
+Fig. 5a sweeps the overlay size from 2 to 16 FUs and reports logic slices and
+DSP blocks; Fig. 5b reports the post-P&R Fmax over the same sweep.  The
+calibrated resource model regenerates both series, pinned to the data points
+the paper states explicitly (654 slices / 8 DSPs for the depth-8 V1 overlay,
+893 slices / 16 DSPs for V2, both under 5% / 8% of the device).
+"""
+
+import pytest
+
+from repro.metrics.tables import render_fig5_series
+from repro.overlay.resources import (
+    estimate_resources,
+    overlay_fmax_mhz,
+    overlay_slices,
+    scalability_sweep,
+)
+from repro.overlay.architecture import LinearOverlay
+from repro.overlay.fu import V1
+
+
+def _sweep_all_variants():
+    depths = list(range(2, 17, 2))
+    return {
+        label: scalability_sweep(label, depths)
+        for label in ("baseline", "v1", "v2")
+    }
+
+
+def test_fig5_overlay_scalability(benchmark, save_result):
+    series = benchmark(_sweep_all_variants)
+    save_result("fig5_scalability", render_fig5_series(series))
+
+    # Calibration points stated in Section V.
+    assert overlay_slices("v1", 8) == pytest.approx(654, rel=0.01)
+    assert overlay_slices("v2", 8) == pytest.approx(893, rel=0.01)
+    v1_depth8 = estimate_resources(LinearOverlay(variant=V1, depth=8))
+    assert v1_depth8.dsp_blocks == 8
+    assert v1_depth8.slice_utilisation < 0.05
+
+    # Fig. 5a shape: linear slice growth, V2 above V1 above [14]; DSPs double on V2.
+    for label, resources in series.items():
+        slices = [r.logic_slices for r in resources]
+        assert all(b > a for a, b in zip(slices, slices[1:]))
+    for v1_point, v2_point in zip(series["v1"], series["v2"]):
+        assert v2_point.logic_slices > v1_point.logic_slices
+        assert v2_point.dsp_blocks == 2 * v1_point.dsp_blocks
+
+    # Fig. 5b shape: mild monotonic Fmax degradation, all within 260-340 MHz.
+    for label in ("baseline", "v1", "v2"):
+        fmax = [overlay_fmax_mhz(label, d) for d in range(2, 17, 2)]
+        assert all(a >= b for a, b in zip(fmax, fmax[1:]))
+        assert all(260 <= f <= 340 for f in fmax)

@@ -1,0 +1,49 @@
+"""Benchmarks of the tool flow itself (mapping + simulation throughput).
+
+Not a paper artefact, but useful to anyone adopting the library: how long a
+full map-and-verify cycle takes per kernel, and how fast the cycle-accurate
+simulator runs.  pytest-benchmark reports wall-clock statistics for both.
+"""
+
+from repro.kernels import get_kernel
+from repro.kernels.reference import random_input_blocks
+from repro.overlay.architecture import LinearOverlay
+from repro.schedule import schedule_kernel
+from repro.sim.overlay import OverlaySimulator, simulate_schedule
+from repro.program.codegen import generate_program
+
+
+def test_mapping_flow_throughput(benchmark):
+    """Full flow (schedule + codegen) for the largest kernel on a V3 overlay."""
+    poly6 = get_kernel("poly6")
+    overlay = LinearOverlay.fixed("v3", 8)
+
+    def run():
+        schedule = schedule_kernel(poly6, overlay)
+        return generate_program(schedule)
+
+    program = benchmark(run)
+    assert program.total_instruction_words > 0
+
+
+def test_simulator_throughput(benchmark):
+    """Cycle-accurate simulation of 64 qspline blocks on the V1 overlay."""
+    qspline = get_kernel("qspline")
+    schedule = schedule_kernel(qspline, LinearOverlay.for_kernel("v1", qspline))
+    blocks = random_input_blocks(qspline, 64, seed=11)
+    simulator = OverlaySimulator(schedule)
+
+    result = benchmark(simulator.run, blocks)
+    assert result.num_blocks == 64
+
+
+def test_end_to_end_map_and_verify(benchmark):
+    """Map, generate code and verify gradient on V2 (the quickstart path)."""
+
+    def run():
+        gradient = get_kernel("gradient")
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel("v2", gradient))
+        return simulate_schedule(schedule, num_blocks=16, seed=2)
+
+    result = benchmark(run)
+    assert result.matches_reference

@@ -1,0 +1,31 @@
+"""Reproduces paper Table I: comparison of the FU designs.
+
+The FU-level figures (DSPs, LUTs, FFs, Fmax, IWP) are the calibrated model
+constants, so this harness mostly checks that the table regenerates and times
+how long assembling the comparison takes (it is the cheapest "experiment" in
+the paper, kept as a benchmark for completeness of the per-table index).
+"""
+
+from repro.metrics.tables import render_table1
+from repro.overlay.fu import FU_VARIANTS
+
+
+def _build_table1():
+    rows = {
+        name: (fu.dsp_blocks, fu.luts, fu.flip_flops, fu.fmax_mhz, fu.iwp)
+        for name, fu in FU_VARIANTS.items()
+    }
+    return rows, render_table1()
+
+
+def test_table1_fu_designs(benchmark, save_result):
+    rows, text = benchmark(_build_table1)
+    save_result("table1_fu_designs", text)
+
+    # Published Table I values.
+    assert rows["baseline"] == (1, 160, 293, 325.0, None)
+    assert rows["v1"] == (1, 196, 237, 334.0, None)
+    assert rows["v2"] == (2, 292, 333, 335.0, None)
+    assert rows["v3"] == (1, 212, 228, 323.0, 5)
+    assert rows["v4"] == (1, 207, 163, 254.0, 4)
+    assert rows["v5"] == (1, 248, 126, 182.0, 3)

@@ -1,0 +1,49 @@
+"""Reproduces paper Table II: the first 32 cycles of the 'gradient' schedule.
+
+The paper shows the cycle-by-cycle activity of the depth-4 V1 overlay running
+the gradient kernel at an II of 6: five loads per block on FU0, the four
+subtractions overlapping the next block's loads, and the downstream FUs
+starting as their operands arrive.  This harness runs the full tool flow plus
+the cycle-accurate simulator with tracing enabled and renders the same table.
+"""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.overlay.architecture import LinearOverlay
+from repro.schedule import analytic_ii, schedule_kernel
+from repro.sim.overlay import simulate_schedule
+from repro.sim.trace import per_block_issue_cycles, render_schedule_table
+
+
+def _generate_table2():
+    gradient = get_kernel("gradient")
+    overlay = LinearOverlay.for_kernel("v1", gradient)
+    schedule = schedule_kernel(gradient, overlay)
+    result = simulate_schedule(schedule, num_blocks=8, record_trace=True)
+    table = render_schedule_table(result.trace, overlay.depth, num_cycles=32)
+    return schedule, result, table
+
+
+def test_table2_gradient_schedule(benchmark, save_result):
+    schedule, result, table = benchmark(_generate_table2)
+    header = "Table II: first 32 cycles of the 'gradient' schedule (V1, II=6)\n"
+    save_result("table2_gradient_schedule", header + table)
+
+    # Paper: II = 6 on the V1 overlay.
+    assert analytic_ii(schedule) == 6
+    assert result.measured_ii == pytest.approx(6.0)
+    assert result.matches_reference
+
+    # Structure of the published table: FU0 loads the 5 stencil samples in the
+    # first five cycles and issues its first SUB in cycle 6.
+    stage0 = result.trace.events_for_stage(0)
+    load_cycles = sorted(e.cycle for e in stage0 if e.kind == "load")[:5]
+    first_exec = min(e.cycle for e in stage0 if e.kind == "exec")
+    assert load_cycles == [0, 1, 2, 3, 4]
+    assert first_exec == 5
+
+    # Steady state: consecutive blocks start exactly II cycles apart on FU0.
+    issue = per_block_issue_cycles(result.trace, stage=0)
+    starts = [min(c) for _, c in sorted(issue.items())]
+    assert all(b - a == 6 for a, b in zip(starts[2:], starts[3:]))

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every harness regenerates one table or figure of the paper.  Besides being
+timed with pytest-benchmark, each harness writes the reproduced rows/series to
+``benchmarks/results/<name>.txt`` so the artefacts survive output capturing
+and can be diffed against EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a reproduced table/series to the results directory and echo it."""
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

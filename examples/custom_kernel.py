@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Mapping your own compute kernels onto the overlay.
+
+The paper's flow starts from C kernels; this example shows both frontends the
+library provides and maps two new kernels that are *not* part of the paper's
+benchmark set:
+
+* a 5-tap FIR filter written in the mini-C dialect (streaming DSP workload —
+  exactly what the linear overlay is designed for), and
+* a 3x3 Sobel edge-detection stencil written as a traced Python function
+  (the same application domain as the paper's 'gradient' example).
+
+Each kernel is mapped onto every relevant overlay variant, verified in the
+cycle-accurate simulator and compared in a small table.
+
+Run with:  python examples/custom_kernel.py
+"""
+
+from repro import map_kernel
+from repro.frontend import parse_c_kernel, trace_kernel
+from repro.metrics.tables import format_table
+
+
+FIR5_C_SOURCE = """
+// 5-tap FIR filter with fixed coefficients (Q15-style integer arithmetic).
+void fir5(int x0, int x1, int x2, int x3, int x4, int *y) {
+    int t0 = 3 * x0;
+    int t1 = 7 * x1;
+    int t2 = 12 * x2;
+    int t3 = 7 * x3;
+    int t4 = 3 * x4;
+    *y = ((t0 + t1) + (t2 + t3)) + t4;
+}
+"""
+
+
+def sobel(p00, p01, p02, p10, p12, p20, p21, p22):
+    """3x3 Sobel operator: |Gx| + |Gy| approximation of the gradient."""
+    gx = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20)
+    gy = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02)
+    return gx.sqr() + gy.sqr()
+
+
+def evaluate(kernel_dfg, variants=("baseline", "v1", "v2", "v3")):
+    rows = []
+    for variant in variants:
+        result = map_kernel(kernel_dfg, variant, simulate=True, num_blocks=10)
+        rows.append(
+            [
+                variant,
+                result.overlay.depth,
+                result.performance.ii,
+                round(result.performance.throughput_gops, 2),
+                round(result.performance.latency_ns, 1),
+                result.configuration.size_bytes,
+                "PASS" if result.simulation.matches_reference else "FAIL",
+            ]
+        )
+    return format_table(
+        ["overlay", "FUs", "II", "GOPS", "latency_ns", "config_B", "verified"],
+        rows,
+        title=f"kernel {kernel_dfg.name!r}: {kernel_dfg.num_operations} ops, "
+        f"I/O {kernel_dfg.io_signature}",
+    )
+
+
+def main() -> None:
+    fir5 = parse_c_kernel(FIR5_C_SOURCE)
+    sobel_dfg = trace_kernel(sobel, num_inputs=8, name="sobel")
+
+    print(evaluate(fir5))
+    print()
+    print(evaluate(sobel_dfg))
+    print()
+    print(
+        "Note how the fixed-depth V3 overlay can absorb both kernels without\n"
+        "being re-sized: switching between them only rewrites the instruction\n"
+        "memories, which is the paper's hardware context-switch argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Overlay scalability and the dual-overlay tile proposal.
+
+Reproduces the design-space view behind the paper's Fig. 5 and Section
+III-A.3: how the linear overlay scales with its depth on the Zynq XC7Z020
+(logic slices, DSP blocks, clock frequency), and how many of the proposed
+dual-overlay tiles (two depth-8 V3 overlays plus a Hoplite-style router) fit
+on the device.
+
+Run with:  python examples/scalability_and_tiles.py
+"""
+
+from repro.metrics.tables import format_table
+from repro.overlay.architecture import LinearOverlay
+from repro.overlay.resources import (
+    ZYNQ_XC7Z020_DSP_BLOCKS,
+    ZYNQ_XC7Z020_LOGIC_SLICES,
+    scalability_sweep,
+)
+from repro.overlay.tile import OverlayTile, TileTopology, max_tiles_on_device, tile_grid
+
+
+def scalability_table():
+    rows = []
+    for variant in ("baseline", "v1", "v2"):
+        for resources in scalability_sweep(variant, range(2, 17, 2)):
+            rows.append(
+                [
+                    variant,
+                    resources.depth,
+                    resources.logic_slices,
+                    resources.dsp_blocks,
+                    round(resources.fmax_mhz, 1),
+                    f"{resources.slice_utilisation * 100:.1f}%",
+                    f"{resources.dsp_utilisation * 100:.1f}%",
+                ]
+            )
+    return format_table(
+        ["variant", "FUs", "slices", "DSPs", "fmax_MHz", "slice%", "DSP%"],
+        rows,
+        title="Fig. 5 sweep: overlay size 2..16 on the Zynq XC7Z020",
+    )
+
+
+def tile_study():
+    lines = []
+    for topology in (TileTopology.PARALLEL, TileTopology.SERIES):
+        tile = OverlayTile(overlay=LinearOverlay.fixed("v3", 8), topology=topology)
+        resources = tile.resources()
+        count = max_tiles_on_device(
+            tile, ZYNQ_XC7Z020_LOGIC_SLICES, ZYNQ_XC7Z020_DSP_BLOCKS
+        )
+        _, aggregate = tile_grid(tile, rows=1, columns=count)
+        lines.append(
+            f"{topology.value:9s} tile: {tile.num_fus} FUs, "
+            f"{resources.logic_slices} slices, {resources.dsp_blocks} DSPs -> "
+            f"{count} tiles fit ({aggregate.dsp_blocks} DSPs, "
+            f"{aggregate.logic_slices} slices at 80% utilisation cap)"
+        )
+        lines.append(
+            f"          presented to the mapper as: depth {tile.effective_depth}, "
+            f"{tile.effective_lanes} lane(s)"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(scalability_table())
+    print()
+    print("Dual-overlay tiles (Section III-A.3), V3 FUs, depth 8 per overlay:")
+    print(tile_study())
+    print(
+        "\nA parallel tile doubles throughput like the V2 datapath but keeps "
+        "the 32-bit stream interface per overlay; a series tile behaves like a "
+        "single depth-16 overlay for kernels whose clustered schedule wants "
+        "more stages."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""repro — reproduction of "A Time-Multiplexed FPGA Overlay with Linear
+Interconnect" (Li, Jain, Maskell, Fahmy — DATE 2018).
+
+The package implements the paper's complete system in pure Python:
+
+* the **DFG IR and frontends** (:mod:`repro.dfg`, :mod:`repro.frontend`) that
+  stand in for the HercuLeS HLS extraction step,
+* the **benchmark kernels** and golden reference models (:mod:`repro.kernels`),
+* the **overlay architecture models** — FU variants [14]/V1-V5, the linear
+  overlay, calibrated FPGA resource / Fmax / context-switch models
+  (:mod:`repro.overlay`),
+* the **mapping tool flow** — ASAP and fixed-depth greedy scheduling,
+  IWP-aware ordering, register allocation, 32-bit instruction generation and
+  configuration images (:mod:`repro.schedule`, :mod:`repro.program`),
+* the **cycle-accurate simulator** that runs the generated programs and
+  measures II / latency while checking functional correctness
+  (:mod:`repro.sim`),
+* the **metrics and baselines** used to regenerate every table and figure of
+  the paper's evaluation (:mod:`repro.metrics`, :mod:`repro.baseline`).
+
+Quickstart
+----------
+>>> from repro import map_kernel
+>>> result = map_kernel("gradient", "v1", simulate=True)
+>>> round(result.performance.ii, 1)
+6.0
+>>> result.simulation.matches_reference
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+__version__ = "1.0.0"
+
+from .dfg import DFG, DFGBuilder, OpCode
+from .errors import ReproError
+from .frontend import parse_c_kernel, trace_kernel
+from .kernels import all_benchmarks, get_kernel, kernel_names
+from .metrics.performance import PerformanceResult, evaluate_kernel
+from .overlay import FU_VARIANTS, LinearOverlay, get_variant
+from .program.codegen import OverlayProgram, generate_program
+from .program.binary import ConfigurationImage, build_configuration_image
+from .schedule import OverlaySchedule, analytic_ii, schedule_kernel
+from .sim import SimulationResult, simulate_schedule
+
+
+@dataclass
+class MappingResult:
+    """Everything produced by :func:`map_kernel` for one kernel/overlay pair."""
+
+    dfg: DFG
+    overlay: LinearOverlay
+    schedule: OverlaySchedule
+    program: OverlayProgram
+    configuration: ConfigurationImage
+    performance: PerformanceResult
+    simulation: Optional[SimulationResult] = None
+
+    @property
+    def ii(self) -> float:
+        return self.performance.ii
+
+    def summary(self) -> str:
+        lines = [
+            f"kernel {self.dfg.name!r} on {self.overlay.name}",
+            f"  II                : {self.performance.ii}",
+            f"  fmax              : {self.performance.fmax_mhz:.0f} MHz",
+            f"  throughput        : {self.performance.throughput_gops:.2f} GOPS",
+            f"  latency           : {self.performance.latency_ns:.1f} ns",
+            f"  configuration size: {self.configuration.size_bytes} bytes",
+        ]
+        if self.simulation is not None:
+            lines.append(
+                f"  simulation        : II={self.simulation.measured_ii:.2f}, "
+                f"reference match={self.simulation.matches_reference}"
+            )
+        return "\n".join(lines)
+
+
+def map_kernel(
+    kernel: Union[str, DFG],
+    variant: Union[str, object] = "v1",
+    depth: Optional[int] = None,
+    simulate: bool = False,
+    num_blocks: int = 12,
+) -> MappingResult:
+    """Run the full tool flow for one kernel on one overlay variant.
+
+    Parameters
+    ----------
+    kernel:
+        A benchmark kernel name (see :func:`repro.kernels.kernel_names`) or a
+        ready-made :class:`~repro.dfg.graph.DFG`.
+    variant:
+        FU variant name (``"baseline"``, ``"v1"`` ... ``"v5"``) or a
+        :class:`~repro.overlay.fu.FUVariant`.
+    depth:
+        Overlay depth override.  By default, write-back variants use the
+        paper's fixed depth of 8 and the other variants match the kernel's
+        critical path.
+    simulate:
+        Also run the cycle-accurate simulator (verifies functional
+        correctness and measures II / latency).
+    """
+    dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
+    fu = get_variant(variant)
+    if depth is not None:
+        overlay = (
+            LinearOverlay.fixed(fu, depth) if fu.write_back else LinearOverlay(fu, depth)
+        )
+    elif fu.write_back:
+        overlay = LinearOverlay.fixed(fu)
+    else:
+        overlay = LinearOverlay.for_kernel(fu, dfg)
+
+    schedule = schedule_kernel(dfg, overlay)
+    program = generate_program(schedule)
+    configuration = build_configuration_image(schedule, program)
+    performance = evaluate_kernel(
+        dfg,
+        fu,
+        fixed_depth=overlay.depth if overlay.fixed_depth else None,
+        simulate=False,
+    )
+    simulation: Optional[SimulationResult] = None
+    if simulate:
+        simulation = simulate_schedule(schedule, num_blocks=num_blocks)
+        performance.measured_ii = simulation.measured_ii
+        performance.latency_cycles = float(simulation.latency_cycles)
+        performance.reference_match = simulation.matches_reference
+        performance.simulated = True
+
+    return MappingResult(
+        dfg=dfg,
+        overlay=overlay,
+        schedule=schedule,
+        program=program,
+        configuration=configuration,
+        performance=performance,
+        simulation=simulation,
+    )
+
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DFG",
+    "DFGBuilder",
+    "OpCode",
+    "trace_kernel",
+    "parse_c_kernel",
+    "get_kernel",
+    "all_benchmarks",
+    "kernel_names",
+    "LinearOverlay",
+    "FU_VARIANTS",
+    "get_variant",
+    "OverlaySchedule",
+    "schedule_kernel",
+    "analytic_ii",
+    "OverlayProgram",
+    "generate_program",
+    "ConfigurationImage",
+    "build_configuration_image",
+    "SimulationResult",
+    "simulate_schedule",
+    "PerformanceResult",
+    "evaluate_kernel",
+    "MappingResult",
+    "map_kernel",
+]

@@ -1,0 +1,205 @@
+"""Command-line interface for the overlay tool flow.
+
+``repro-overlay`` exposes the whole mapping flow from the shell::
+
+    repro-overlay kernels                         # list benchmark kernels
+    repro-overlay variants                        # list FU variants (Table I)
+    repro-overlay map --kernel gradient --variant v1
+    repro-overlay simulate --kernel qspline --variant v3 --depth 8 --blocks 16
+    repro-overlay table3                          # regenerate Table III
+    repro-overlay scalability --variant v1        # Fig. 5 data series
+    repro-overlay dot --kernel qspline            # DFG in Graphviz DOT
+
+Every sub-command prints plain text to stdout, so the CLI is also how the
+examples and the EXPERIMENTS.md tables were produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .errors import ReproError
+from .kernels import all_benchmarks, get_kernel, kernel_names
+from .metrics.performance import evaluate_kernel, evaluate_kernel_all_overlays
+from .metrics.tables import render_fig5_series, render_table1, render_table3
+from .overlay.architecture import LinearOverlay
+from .overlay.fu import FU_VARIANTS, get_variant
+from .overlay.resources import scalability_sweep
+from .program.codegen import generate_program
+from .schedule import analytic_ii, schedule_kernel
+from .sim.overlay import simulate_schedule
+from .sim.trace import render_schedule_table
+from .visualize import clusters_to_dot, dfg_to_dot, schedule_listing
+
+
+def _build_overlay(args, dfg) -> LinearOverlay:
+    variant = get_variant(args.variant)
+    if getattr(args, "depth", 0):
+        if variant.write_back:
+            return LinearOverlay.fixed(variant, args.depth)
+        return LinearOverlay(variant=variant, depth=args.depth)
+    if variant.write_back:
+        return LinearOverlay.fixed(variant)
+    return LinearOverlay.for_kernel(variant, dfg)
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    for name, dfg in all_benchmarks().items():
+        print(
+            f"{name:10s} I/O={dfg.io_signature:5s} ops={dfg.num_operations:3d} "
+            f"depth={_depth(dfg):2d}"
+        )
+    return 0
+
+
+def _depth(dfg) -> int:
+    from .dfg.analysis import dfg_depth
+
+    return dfg_depth(dfg)
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    print(render_table1())
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    dfg = get_kernel(args.kernel)
+    overlay = _build_overlay(args, dfg)
+    schedule = schedule_kernel(dfg, overlay)
+    print(schedule_listing(schedule))
+    print()
+    print(f"analytic II: {analytic_ii(schedule)}")
+    if args.program:
+        program = generate_program(schedule)
+        print()
+        print(program.listing())
+        print(f"\ntotal instruction words: {program.total_instruction_words}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    dfg = get_kernel(args.kernel)
+    overlay = _build_overlay(args, dfg)
+    schedule = schedule_kernel(dfg, overlay)
+    result = simulate_schedule(
+        schedule, num_blocks=args.blocks, seed=args.seed, record_trace=args.trace
+    )
+    print(result.summary())
+    print(f"analytic II: {analytic_ii(schedule)}, measured II: {result.measured_ii:.2f}")
+    if args.trace and result.trace is not None:
+        print()
+        print(render_schedule_table(result.trace, overlay.depth, num_cycles=args.trace_cycles))
+    return 0 if result.matches_reference else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dfg = get_kernel(args.kernel)
+    results = evaluate_kernel_all_overlays(dfg, simulate=args.simulate)
+    for label, result in results.items():
+        row = result.as_row()
+        print(
+            f"{label:9s} II={row['ii']:<6} fmax={row['fmax_mhz']:<6} "
+            f"GOPS={row['gops']:<7} latency={row['latency_ns']:<8} "
+            f"FUs={row['fus']} DSPs={row['dsp']} slices={row['slices']}"
+        )
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .kernels.library import TABLE3_BENCHMARKS
+
+    measured = {}
+    for name in TABLE3_BENCHMARKS:
+        dfg = get_kernel(name)
+        results = evaluate_kernel_all_overlays(dfg)
+        measured[name] = {label: result.ii for label, result in results.items()}
+    print(render_table3(measured))
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    series = {args.variant: scalability_sweep(args.variant, range(2, args.max_depth + 1, 2))}
+    print(render_fig5_series(series))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    dfg = get_kernel(args.kernel)
+    if args.clusters:
+        overlay = LinearOverlay.fixed(args.variant or "v3", args.depth or 4)
+        schedule = schedule_kernel(dfg, overlay)
+        print(clusters_to_dot(dfg, schedule.assignment))
+    else:
+        print(dfg_to_dot(dfg))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-overlay",
+        description="Linear time-multiplexed FPGA overlay tool flow (DATE 2018 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list benchmark kernels").set_defaults(func=_cmd_kernels)
+    sub.add_parser("variants", help="list FU variants (Table I)").set_defaults(
+        func=_cmd_variants
+    )
+
+    p_map = sub.add_parser("map", help="schedule a kernel onto an overlay")
+    p_map.add_argument("--kernel", required=True, choices=kernel_names())
+    p_map.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))
+    p_map.add_argument("--depth", type=int, default=0, help="override the overlay depth")
+    p_map.add_argument("--program", action="store_true", help="also print the FU programs")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_sim = sub.add_parser("simulate", help="run the cycle-accurate simulator")
+    p_sim.add_argument("--kernel", required=True, choices=kernel_names())
+    p_sim.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))
+    p_sim.add_argument("--depth", type=int, default=0)
+    p_sim.add_argument("--blocks", type=int, default=12)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--trace", action="store_true", help="print a Table II style trace")
+    p_sim.add_argument("--trace-cycles", type=int, default=32)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a kernel on every overlay variant")
+    p_eval.add_argument("--kernel", required=True, choices=kernel_names())
+    p_eval.add_argument("--simulate", action="store_true")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    sub.add_parser("table3", help="regenerate the paper's Table III").set_defaults(
+        func=_cmd_table3
+    )
+
+    p_scale = sub.add_parser("scalability", help="Fig. 5 resource/Fmax sweep")
+    p_scale.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))
+    p_scale.add_argument("--max-depth", type=int, default=16)
+    p_scale.set_defaults(func=_cmd_scalability)
+
+    p_dot = sub.add_parser("dot", help="emit a Graphviz DOT drawing of a kernel DFG")
+    p_dot.add_argument("--kernel", required=True, choices=kernel_names())
+    p_dot.add_argument("--clusters", action="store_true", help="mark scheduling clusters")
+    p_dot.add_argument("--variant", default="v3")
+    p_dot.add_argument("--depth", type=int, default=0)
+    p_dot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

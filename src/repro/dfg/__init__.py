@@ -1,0 +1,80 @@
+"""Data-flow-graph intermediate representation and analyses.
+
+This package is the IR every other part of the tool flow speaks:
+
+* :class:`~repro.dfg.graph.DFG` / :class:`~repro.dfg.node.DFGNode` — the graph.
+* :class:`~repro.dfg.builder.DFGBuilder` — programmatic construction.
+* :mod:`~repro.dfg.analysis` — ASAP/ALAP levels, depth, critical path,
+  per-stage traffic (loads / computes / pass-throughs).
+* :mod:`~repro.dfg.transforms` — DCE, constant folding, CSE, square
+  strength-reduction, reduction rebalancing.
+* :mod:`~repro.dfg.serialize` — JSON round-trip and DOT export.
+"""
+
+from .builder import DFGBuilder
+from .graph import DFG
+from .node import DFGEdge, DFGNode
+from .opcodes import OpCode, parse_opcode
+from .analysis import (
+    DFGCharacteristics,
+    alap_levels,
+    asap_levels,
+    asap_stage_assignment,
+    characteristics,
+    critical_path,
+    dfg_depth,
+    level_sets,
+    operation_histogram,
+    slack,
+    stage_traffic,
+    StageTraffic,
+    value_lifetimes,
+)
+from .transforms import (
+    common_subexpression_elimination,
+    constant_folding,
+    dead_code_elimination,
+    optimize,
+    rebalance_reductions,
+    strength_reduce_squares,
+)
+from .serialize import from_dict, from_json, load, save, to_dict, to_dot, to_json
+from .validate import collect_validation_errors, is_valid, validate_dfg
+
+__all__ = [
+    "DFG",
+    "DFGNode",
+    "DFGEdge",
+    "DFGBuilder",
+    "OpCode",
+    "parse_opcode",
+    "DFGCharacteristics",
+    "asap_levels",
+    "alap_levels",
+    "asap_stage_assignment",
+    "slack",
+    "level_sets",
+    "dfg_depth",
+    "critical_path",
+    "characteristics",
+    "stage_traffic",
+    "StageTraffic",
+    "value_lifetimes",
+    "operation_histogram",
+    "dead_code_elimination",
+    "constant_folding",
+    "common_subexpression_elimination",
+    "strength_reduce_squares",
+    "rebalance_reductions",
+    "optimize",
+    "to_dict",
+    "from_dict",
+    "to_json",
+    "from_json",
+    "save",
+    "load",
+    "to_dot",
+    "validate_dfg",
+    "collect_validation_errors",
+    "is_valid",
+]

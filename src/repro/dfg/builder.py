@@ -1,0 +1,175 @@
+"""Programmatic DFG construction.
+
+:class:`DFGBuilder` is the low-level API used by the frontends and the
+benchmark kernel library.  It provides one method per operation, keeps track
+of named values, and finishes with :meth:`build`, which validates the graph.
+
+Example
+-------
+>>> from repro.dfg.builder import DFGBuilder
+>>> b = DFGBuilder("gradient")
+>>> i0, i1 = b.input("I0"), b.input("I1")
+>>> d = b.sub(i0, i1)
+>>> b.output(b.mul(d, d), "O0")
+>>> dfg = b.build()
+>>> dfg.num_operations
+2
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..errors import DFGValidationError
+from .graph import DFG
+from .node import DFGNode
+from .opcodes import OpCode
+from .validate import validate_dfg
+
+
+class DFGBuilder:
+    """Incrementally builds a :class:`DFG`.
+
+    All value-producing methods return the integer node id of the created
+    node; those ids are then passed as operands to later calls.
+    """
+
+    def __init__(self, name: str = "kernel"):
+        self._dfg = DFG(name=name)
+        self._named: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # boundary nodes
+    # ------------------------------------------------------------------
+    def input(self, name: str = "") -> int:
+        """Add a primary input and return its node id."""
+        if not name:
+            name = f"I{self._dfg.num_inputs}"
+        node = self._dfg.new_node(OpCode.INPUT, name=f"{name}_N{self._dfg._next_id}")
+        self._named[name] = node.node_id
+        return node.node_id
+
+    def const(self, value: int, name: str = "") -> int:
+        """Add a compile-time constant and return its node id."""
+        node = self._dfg.new_node(OpCode.CONST, value=int(value), name=name)
+        if name:
+            self._named[name] = node.node_id
+        return node.node_id
+
+    def output(self, value: int, name: str = "") -> int:
+        """Mark ``value`` as a primary output."""
+        if not name:
+            name = f"O{self._dfg.num_outputs}"
+        node = self._dfg.new_node(
+            OpCode.OUTPUT, operands=(value,), name=f"{name}_N{self._dfg._next_id}"
+        )
+        self._named[name] = node.node_id
+        return node.node_id
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def op(self, opcode: OpCode, *operands: int, name: str = "") -> int:
+        """Add an arbitrary compute node."""
+        if not opcode.is_compute:
+            raise DFGValidationError(
+                f"DFGBuilder.op expects a compute opcode, got {opcode.name}"
+            )
+        node = self._dfg.new_node(opcode, operands=tuple(operands), name=name)
+        if name:
+            self._named[name] = node.node_id
+        return node.node_id
+
+    def add(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.ADD, a, b, name=name)
+
+    def sub(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.SUB, a, b, name=name)
+
+    def mul(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.MUL, a, b, name=name)
+
+    def sqr(self, a: int, name: str = "") -> int:
+        return self.op(OpCode.SQR, a, name=name)
+
+    def muladd(self, a: int, b: int, c: int, name: str = "") -> int:
+        return self.op(OpCode.MULADD, a, b, c, name=name)
+
+    def mulsub(self, a: int, b: int, c: int, name: str = "") -> int:
+        return self.op(OpCode.MULSUB, a, b, c, name=name)
+
+    def neg(self, a: int, name: str = "") -> int:
+        return self.op(OpCode.NEG, a, name=name)
+
+    def and_(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.AND, a, b, name=name)
+
+    def or_(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.OR, a, b, name=name)
+
+    def xor(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.XOR, a, b, name=name)
+
+    def not_(self, a: int, name: str = "") -> int:
+        return self.op(OpCode.NOT, a, name=name)
+
+    def shl(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.SHL, a, b, name=name)
+
+    def shr(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.SHR, a, b, name=name)
+
+    def min(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.MIN, a, b, name=name)
+
+    def max(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpCode.MAX, a, b, name=name)
+
+    def abs(self, a: int, name: str = "") -> int:
+        return self.op(OpCode.ABS, a, name=name)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def named(self, name: str) -> int:
+        """Look up a previously named value."""
+        return self._named[name]
+
+    def reduce(self, opcode: OpCode, values: Sequence[int], balanced: bool = True) -> int:
+        """Combine ``values`` with a binary opcode.
+
+        With ``balanced=True`` (default) the reduction forms a balanced tree,
+        minimizing DFG depth — this is what the paper's DFGs (e.g. the adder
+        tree of 'gradient') look like.  With ``balanced=False`` a left-leaning
+        chain is built instead, which maximizes depth and is useful for
+        stressing the fixed-depth scheduler.
+        """
+        if not values:
+            raise DFGValidationError("reduce requires at least one value")
+        work = list(values)
+        if len(work) == 1:
+            return work[0]
+        if balanced:
+            while len(work) > 1:
+                nxt = []
+                for i in range(0, len(work) - 1, 2):
+                    nxt.append(self.op(opcode, work[i], work[i + 1]))
+                if len(work) % 2:
+                    nxt.append(work[-1])
+                work = nxt
+            return work[0]
+        acc = work[0]
+        for value in work[1:]:
+            acc = self.op(opcode, acc, value)
+        return acc
+
+    def build(self, validate: bool = True) -> DFG:
+        """Finish construction and (optionally) validate the graph."""
+        if validate:
+            validate_dfg(self._dfg)
+        return self._dfg
+
+    @property
+    def dfg(self) -> DFG:
+        """Access the graph under construction without validation."""
+        return self._dfg

@@ -1,0 +1,135 @@
+"""DFG node representation.
+
+A node is an SSA value: it is produced exactly once (by its operation) and
+consumed by zero or more downstream nodes.  Nodes are identified by small
+integer ids that are unique within their graph; the id order is also the
+creation order, which the serializers and the visualizer rely on for stable
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import OpCode
+
+
+@dataclass(frozen=True)
+class DFGNode:
+    """A single node of a data-flow graph.
+
+    Attributes
+    ----------
+    node_id:
+        Integer id, unique within the owning :class:`~repro.dfg.graph.DFG`.
+    opcode:
+        The operation this node performs (see :class:`OpCode`).
+    operands:
+        Tuple of producer node ids, in operand order.  Empty for ``INPUT`` and
+        ``CONST`` nodes.
+    name:
+        Human-readable name.  For inputs/outputs this is the port name used by
+        the reference model and the streaming interface (``"I0"``, ``"O0"``);
+        for operations it defaults to ``"<OP>_N<id>"`` in the style of the
+        paper's figures (e.g. ``SUB_N6``).
+    value:
+        Constant value for ``CONST`` nodes, otherwise ``None``.
+    """
+
+    node_id: int
+    opcode: OpCode
+    operands: Tuple[int, ...] = ()
+    name: str = ""
+    value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode is OpCode.CONST and self.value is None:
+            raise ValueError("CONST node requires a value")
+        if self.opcode is not OpCode.CONST and self.value is not None:
+            raise ValueError(f"{self.opcode.name} node must not carry a constant value")
+        expected = self.opcode.arity
+        if self.opcode.is_compute or self.opcode is OpCode.OUTPUT:
+            if len(self.operands) != expected:
+                raise ValueError(
+                    f"{self.opcode.name} node expects {expected} operands, "
+                    f"got {len(self.operands)}"
+                )
+        if not self.name:
+            object.__setattr__(self, "name", default_name(self.node_id, self.opcode))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_input(self) -> bool:
+        return self.opcode is OpCode.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.opcode is OpCode.OUTPUT
+
+    @property
+    def is_const(self) -> bool:
+        return self.opcode is OpCode.CONST
+
+    @property
+    def is_operation(self) -> bool:
+        """True if the node is executed by an FU (i.e. a compute node)."""
+        return self.opcode.is_compute
+
+    def with_operands(self, operands: Tuple[int, ...]) -> "DFGNode":
+        """Return a copy of the node with different operand ids."""
+        return DFGNode(
+            node_id=self.node_id,
+            opcode=self.opcode,
+            operands=tuple(operands),
+            name=self.name,
+            value=self.value,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_const:
+            return f"{self.name}={self.value}"
+        if self.operands:
+            args = ", ".join(f"N{o}" for o in self.operands)
+            return f"{self.name}({args})"
+        return self.name
+
+
+def default_name(node_id: int, opcode: OpCode) -> str:
+    """Build the paper-style default node name (e.g. ``SUB_N6``)."""
+    prefix = {
+        OpCode.INPUT: "I",
+        OpCode.OUTPUT: "O",
+        OpCode.CONST: "C",
+    }.get(opcode, opcode.name)
+    return f"{prefix}_N{node_id}"
+
+
+@dataclass(frozen=True)
+class DFGEdge:
+    """A directed data edge ``producer -> consumer`` with operand position."""
+
+    producer: int
+    consumer: int
+    operand_index: int = 0
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.producer, self.consumer, self.operand_index)
+
+
+@dataclass
+class NodeAttributes:
+    """Mutable per-node annotations attached by analyses and schedulers.
+
+    These never live on :class:`DFGNode` itself (nodes are frozen); analyses
+    return dictionaries keyed by node id instead.  This class is a convenient
+    bundle for passes that want to carry several annotations together.
+    """
+
+    asap_level: Optional[int] = None
+    alap_level: Optional[int] = None
+    slack: Optional[int] = None
+    cluster: Optional[int] = None
+    fu_index: Optional[int] = None
+    register: Optional[int] = None
+    extra: dict = field(default_factory=dict)

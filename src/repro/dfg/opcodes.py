@@ -1,0 +1,188 @@
+"""Operation codes for DFG nodes and FU instructions.
+
+The operation set mirrors what the paper's DSP48E1-based functional unit can
+execute: two/three operand integer arithmetic and logic (the DSP ``D`` port is
+unused by the overlay, so operations are restricted to two primary operands,
+with squaring expressed as ``MUL(x, x)``).
+
+Besides the compute operations the enum carries the *structural* opcodes the
+tool flow needs:
+
+* ``INPUT`` / ``OUTPUT`` / ``CONST`` — DFG boundary nodes produced by the
+  frontend; they never appear in FU instruction streams.
+* ``LOAD`` — a data word entering an FU's register file from the stream.
+* ``PASS`` — a value forwarded unchanged through an FU (the linear
+  interconnect has no skip connections, so multi-level values transit through
+  every intermediate FU's ALU).
+* ``NOP`` — inserted by the fixed-depth scheduler to satisfy the internal
+  write-back path (IWP) spacing between dependent instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _to_signed32(value: int) -> int:
+    """Wrap an integer to signed 32-bit two's-complement range."""
+    value &= _MASK32
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+class OpCode(enum.Enum):
+    """Operation codes understood by the DFG IR and the FU ALU model."""
+
+    # --- structural / boundary nodes -------------------------------------
+    INPUT = "input"
+    OUTPUT = "output"
+    CONST = "const"
+
+    # --- FU control opcodes ----------------------------------------------
+    LOAD = "load"
+    PASS = "pass"
+    NOP = "nop"
+
+    # --- DSP-supported arithmetic ------------------------------------------
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SQR = "sqr"          # unary square, executed as MUL(x, x) on the DSP
+    MULADD = "muladd"    # a*b + c  (3-operand; uses the DSP post-adder)
+    MULSUB = "mulsub"    # a*b - c
+    NEG = "neg"
+
+    # --- logic / shift -----------------------------------------------------
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+
+    # --- comparison / select -----------------------------------------------
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+
+    # ------------------------------------------------------------------
+    @property
+    def is_structural(self) -> bool:
+        """True for DFG boundary nodes that never become FU instructions."""
+        return self in (OpCode.INPUT, OpCode.OUTPUT, OpCode.CONST)
+
+    @property
+    def is_control(self) -> bool:
+        """True for FU-level control opcodes (LOAD / PASS / NOP)."""
+        return self in (OpCode.LOAD, OpCode.PASS, OpCode.NOP)
+
+    @property
+    def is_compute(self) -> bool:
+        """True for operations executed by the DSP ALU datapath."""
+        return not self.is_structural and not self.is_control
+
+    @property
+    def arity(self) -> int:
+        """Number of data operands consumed by the operation."""
+        return OP_ARITY[self]
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in (
+            OpCode.ADD,
+            OpCode.MUL,
+            OpCode.AND,
+            OpCode.OR,
+            OpCode.XOR,
+            OpCode.MIN,
+            OpCode.MAX,
+        )
+
+    def evaluate(self, *operands: int) -> int:
+        """Evaluate the operation on signed 32-bit integer operands.
+
+        The result wraps to the signed 32-bit range, matching the overflow
+        behaviour of the 32-bit datapath carved out of the DSP48E1.
+        """
+        if self not in OP_SEMANTICS:
+            raise ValueError(f"opcode {self.name} has no arithmetic semantics")
+        expected = self.arity
+        if len(operands) != expected:
+            raise ValueError(
+                f"{self.name} expects {expected} operands, got {len(operands)}"
+            )
+        return _to_signed32(OP_SEMANTICS[self](*operands))
+
+
+#: Number of operands per opcode.  Structural opcodes are listed for
+#: completeness (INPUT/CONST produce values, OUTPUT consumes one).
+OP_ARITY: Dict[OpCode, int] = {
+    OpCode.INPUT: 0,
+    OpCode.CONST: 0,
+    OpCode.OUTPUT: 1,
+    OpCode.LOAD: 0,
+    OpCode.PASS: 1,
+    OpCode.NOP: 0,
+    OpCode.ADD: 2,
+    OpCode.SUB: 2,
+    OpCode.MUL: 2,
+    OpCode.SQR: 1,
+    OpCode.MULADD: 3,
+    OpCode.MULSUB: 3,
+    OpCode.NEG: 1,
+    OpCode.AND: 2,
+    OpCode.OR: 2,
+    OpCode.XOR: 2,
+    OpCode.NOT: 1,
+    OpCode.SHL: 2,
+    OpCode.SHR: 2,
+    OpCode.MIN: 2,
+    OpCode.MAX: 2,
+    OpCode.ABS: 1,
+}
+
+
+#: Functional semantics of every opcode the ALU can execute.  ``PASS`` is the
+#: identity; ``LOAD``/``NOP`` have no arithmetic meaning and are not listed.
+OP_SEMANTICS: Dict[OpCode, Callable[..., int]] = {
+    OpCode.PASS: lambda a: a,
+    OpCode.ADD: lambda a, b: a + b,
+    OpCode.SUB: lambda a, b: a - b,
+    OpCode.MUL: lambda a, b: a * b,
+    OpCode.SQR: lambda a: a * a,
+    OpCode.MULADD: lambda a, b, c: a * b + c,
+    OpCode.MULSUB: lambda a, b, c: a * b - c,
+    OpCode.NEG: lambda a: -a,
+    OpCode.AND: lambda a, b: a & b,
+    OpCode.OR: lambda a, b: a | b,
+    OpCode.XOR: lambda a, b: a ^ b,
+    OpCode.NOT: lambda a: ~a,
+    OpCode.SHL: lambda a, b: a << (b & 31),
+    OpCode.SHR: lambda a, b: a >> (b & 31),
+    OpCode.MIN: lambda a, b: min(a, b),
+    OpCode.MAX: lambda a, b: max(a, b),
+    OpCode.ABS: lambda a: abs(a),
+}
+
+
+#: Compute opcodes that can appear as DFG operation nodes.
+COMPUTE_OPCODES = tuple(op for op in OpCode if op.is_compute)
+
+
+def parse_opcode(text: str) -> OpCode:
+    """Parse an opcode from its textual (case-insensitive) name.
+
+    Both the enum member name (``"ADD"``) and its value (``"add"``) are
+    accepted, matching the spellings used in serialized DFGs and in benchmark
+    kernel descriptions.
+    """
+    normalized = text.strip().lower()
+    for op in OpCode:
+        if op.value == normalized or op.name.lower() == normalized:
+            return op
+    raise ValueError(f"unknown opcode: {text!r}")

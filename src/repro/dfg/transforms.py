@@ -1,0 +1,239 @@
+"""DFG transformation passes.
+
+These are the small "compiler middle-end" passes the mapping flow applies
+between frontend extraction and scheduling.  None of them are strictly needed
+to map a clean hand-written kernel, but real frontend output (and the mini-C
+parser in particular) benefits from them:
+
+* :func:`dead_code_elimination` — drop operations that never reach an output.
+* :func:`constant_folding` — evaluate operations whose operands are all
+  constants at compile time.
+* :func:`common_subexpression_elimination` — merge structurally identical
+  operations (the paper's DFGs are SSA graphs, so this is a pure win).
+* :func:`strength_reduce_squares` — rewrite ``MUL(x, x)`` as ``SQR(x)``,
+  matching the node naming used in the paper's figures.
+* :func:`rebalance_reductions` — re-associate chains of the same commutative
+  operator into balanced trees, reducing DFG depth (and therefore the number
+  of FUs a critical-path-depth overlay needs).
+
+All passes are functional: they return a new :class:`DFG` and leave the input
+untouched.  Node ids are re-numbered compactly in topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import DFGValidationError
+from .graph import DFG
+from .node import DFGNode
+from .opcodes import OpCode
+from .validate import validate_dfg
+
+
+
+def _port_name(node: DFGNode) -> str:
+    """Preserve the port prefix of INPUT/OUTPUT nodes across graph rebuilds."""
+    if node.is_input or node.is_output:
+        return node.name.split("_N")[0]
+    return ""
+
+def _rebuild(
+    dfg: DFG,
+    keep: Optional[set] = None,
+    replacements: Optional[Dict[int, int]] = None,
+    name: Optional[str] = None,
+) -> DFG:
+    """Rebuild a DFG keeping only ``keep`` nodes and applying id replacements.
+
+    ``replacements`` maps an old node id to the old node id that should be
+    used instead (e.g. the surviving twin of a CSE pair).  Ids are compacted.
+    """
+    keep = keep if keep is not None else set(dfg.node_ids())
+    replacements = replacements or {}
+
+    def resolve(node_id: int) -> int:
+        seen = set()
+        while node_id in replacements:
+            if node_id in seen:  # pragma: no cover - defensive
+                raise DFGValidationError("cyclic replacement chain")
+            seen.add(node_id)
+            node_id = replacements[node_id]
+        return node_id
+
+    new = DFG(name=name or dfg.name)
+    id_map: Dict[int, int] = {}
+    for old_id in dfg.topological_order():
+        old_id = resolve(old_id)
+        if old_id in id_map or old_id not in keep:
+            continue
+        node = dfg.node(old_id)
+        operands = tuple(id_map[resolve(o)] for o in node.operands)
+        new_node = new.new_node(
+            node.opcode, operands=operands, value=node.value, name=_port_name(node)
+        )
+        id_map[old_id] = new_node.node_id
+    return new
+
+
+def dead_code_elimination(dfg: DFG) -> DFG:
+    """Remove operations (and constants) that do not reach any output."""
+    live = set()
+    worklist = [o.node_id for o in dfg.outputs()]
+    while worklist:
+        node_id = worklist.pop()
+        if node_id in live:
+            continue
+        live.add(node_id)
+        worklist.extend(dfg.node(node_id).operands)
+    # Keep all primary inputs even if dead so the I/O signature is preserved;
+    # the validator flags dead inputs separately if the caller cares.
+    live.update(n.node_id for n in dfg.inputs())
+    return _rebuild(dfg, keep=live)
+
+
+def constant_folding(dfg: DFG) -> DFG:
+    """Evaluate operations whose operands are all constants."""
+    folded_values: Dict[int, int] = {
+        n.node_id: n.value for n in dfg.constants() if n.value is not None
+    }
+    replacements: Dict[int, int] = {}
+    new = DFG(name=dfg.name)
+    id_map: Dict[int, int] = {}
+
+    for old_id in dfg.topological_order():
+        node = dfg.node(old_id)
+        if node.is_operation and all(o in folded_values for o in node.operands):
+            operand_values = [folded_values[o] for o in node.operands]
+            folded_values[old_id] = node.opcode.evaluate(*operand_values)
+            continue  # materialized lazily as a CONST if anyone non-foldable uses it
+        operands = []
+        for operand in node.operands:
+            if operand in folded_values and operand not in id_map:
+                const = new.new_node(OpCode.CONST, value=folded_values[operand])
+                id_map[operand] = const.node_id
+            operands.append(id_map[operand])
+        new_node = new.new_node(
+            node.opcode, operands=tuple(operands), value=node.value, name=_port_name(node)
+        )
+        id_map[old_id] = new_node.node_id
+    return dead_code_elimination(new)
+
+
+def common_subexpression_elimination(dfg: DFG) -> DFG:
+    """Merge structurally identical operations.
+
+    Two operations are identical if they share the opcode and operand ids
+    (operand order is normalized for commutative opcodes).
+    """
+    replacements: Dict[int, int] = {}
+    seen: Dict[Tuple, int] = {}
+    for node_id in dfg.topological_order():
+        node = dfg.node(node_id)
+        if not node.is_operation:
+            continue
+        operands = tuple(replacements.get(o, o) for o in node.operands)
+        if node.opcode.is_commutative:
+            operands = tuple(sorted(operands))
+        key = (node.opcode, operands)
+        if key in seen:
+            replacements[node_id] = seen[key]
+        else:
+            seen[key] = node_id
+    return _rebuild(dfg, replacements=replacements)
+
+
+def strength_reduce_squares(dfg: DFG) -> DFG:
+    """Rewrite ``MUL(x, x)`` as the unary ``SQR(x)`` used in the paper's DFGs."""
+    new = DFG(name=dfg.name)
+    id_map: Dict[int, int] = {}
+    for old_id in dfg.topological_order():
+        node = dfg.node(old_id)
+        operands = tuple(id_map[o] for o in node.operands)
+        if (
+            node.opcode is OpCode.MUL
+            and len(operands) == 2
+            and operands[0] == operands[1]
+        ):
+            new_node = new.new_node(OpCode.SQR, operands=(operands[0],))
+        else:
+            new_node = new.new_node(
+                node.opcode, operands=operands, value=node.value, name=_port_name(node)
+            )
+        id_map[old_id] = new_node.node_id
+    return new
+
+
+def rebalance_reductions(dfg: DFG) -> DFG:
+    """Re-associate single-use chains of a commutative operator into trees.
+
+    A chain ``(((a+b)+c)+d)`` of depth 3 becomes ``(a+b)+(c+d)`` of depth 2.
+    Only nodes whose intermediate results have a single consumer are touched,
+    so observable values are preserved.
+    """
+    consumers_count = {n.node_id: dfg.fanout(n.node_id) for n in dfg.nodes()}
+    new = DFG(name=dfg.name)
+    id_map: Dict[int, int] = {}
+    chain_absorbed: set = set()
+
+    def collect_chain(root: DFGNode) -> List[int]:
+        """Leaves (old ids) of the maximal single-use chain rooted at ``root``."""
+        leaves: List[int] = []
+        stack = [root.node_id]
+        while stack:
+            node_id = stack.pop()
+            node = dfg.node(node_id)
+            is_internal = (
+                node.is_operation
+                and node.opcode is root.opcode
+                and (node_id == root.node_id or consumers_count[node_id] == 1)
+            )
+            if is_internal:
+                if node_id != root.node_id:
+                    chain_absorbed.add(node_id)
+                stack.extend(reversed(node.operands))
+            else:
+                leaves.append(node_id)
+        return leaves
+
+    for old_id in dfg.topological_order():
+        if old_id in chain_absorbed:
+            continue
+        node = dfg.node(old_id)
+        if node.is_operation and node.opcode.is_commutative:
+            leaves = collect_chain(node)
+            if len(leaves) > 2:
+                work = [id_map[leaf] for leaf in leaves]
+                while len(work) > 1:
+                    nxt = []
+                    for i in range(0, len(work) - 1, 2):
+                        nxt.append(
+                            new.new_node(node.opcode, operands=(work[i], work[i + 1])).node_id
+                        )
+                    if len(work) % 2:
+                        nxt.append(work[-1])
+                    work = nxt
+                id_map[old_id] = work[0]
+                continue
+        operands = tuple(id_map[o] for o in node.operands)
+        new_node = new.new_node(
+            node.opcode, operands=operands, value=node.value, name=_port_name(node)
+        )
+        id_map[old_id] = new_node.node_id
+    return new
+
+
+def optimize(dfg: DFG, rebalance: bool = False) -> DFG:
+    """Run the standard pass pipeline used by the frontends.
+
+    Order: constant folding -> CSE -> square strength reduction -> (optional)
+    reduction rebalancing -> DCE.  The result is validated before returning.
+    """
+    result = constant_folding(dfg)
+    result = common_subexpression_elimination(result)
+    result = strength_reduce_squares(result)
+    if rebalance:
+        result = rebalance_reductions(result)
+    result = dead_code_elimination(result)
+    validate_dfg(result, require_live=False)
+    return result

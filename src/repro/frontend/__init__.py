@@ -1,0 +1,17 @@
+"""Kernel capture frontends (the HLS-substitute layer).
+
+The paper extracts DFGs from C kernels with the HercuLeS HLS tool.  This
+package provides two interchangeable substitutes that produce the same
+:class:`~repro.dfg.graph.DFG` IR:
+
+* :mod:`repro.frontend.expr` — a symbolic tracing frontend: write the kernel
+  as a plain Python function over :class:`~repro.frontend.expr.Value`
+  operands and trace it.
+* :mod:`repro.frontend.cparser` — a mini-C parser for straight-line compute
+  kernels written in the style of the paper's Fig. 2a.
+"""
+
+from .expr import Value, KernelTracer, trace_kernel
+from .cparser import parse_c_kernel
+
+__all__ = ["Value", "KernelTracer", "trace_kernel", "parse_c_kernel"]

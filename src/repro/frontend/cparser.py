@@ -1,0 +1,356 @@
+"""Mini-C frontend for straight-line compute kernels.
+
+The paper's flow uses the HercuLeS HLS tool to turn a C kernel (Fig. 2a) into
+a DFG.  This module provides a small, dependency-free substitute: a lexer and
+recursive-descent parser for the subset of C that the paper's benchmark
+kernels use — a single function of ``int`` inputs and pointer outputs whose
+body is a sequence of declarations and assignments over integer expressions.
+
+Supported grammar (informally)::
+
+    kernel     := type IDENT '(' params ')' '{' statement* '}'
+    params     := param (',' param)*
+    param      := 'int' '*'? IDENT
+    statement  := 'int' IDENT '=' expr ';'
+                | '*'? IDENT '=' expr ';'
+                | 'return' expr ';'
+    expr       := shift (('&' | '^' | '|') shift)*          (C precedence)
+    shift      := additive (('<<' | '>>') additive)*
+    additive   := term (('+' | '-') term)*
+    term       := unary (('*') unary)*
+    unary      := ('-' | '~')? primary
+    primary    := INT | IDENT | IDENT '(' args ')' | '(' expr ')'
+
+Calls to the intrinsic functions ``sqr``, ``abs``, ``min`` and ``max`` map to
+the corresponding DFG opcodes.  Division and data-dependent control flow are
+rejected with a :class:`~repro.errors.ParseError` — they are outside what the
+DSP-based FU supports.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dfg.builder import DFGBuilder
+from ..dfg.graph import DFG
+from ..dfg.opcodes import OpCode
+from ..dfg.transforms import optimize
+from ..errors import ParseError
+
+
+# ---------------------------------------------------------------------------
+# lexer
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*|/\*.*?\*/"),
+    ("NUMBER", r"0[xX][0-9a-fA-F]+|\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("SHIFT", r"<<|>>"),
+    ("SYMBOL", r"[{}();,=*+\-&|^~]"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+]
+_TOKEN_RE = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC), re.DOTALL
+)
+
+_KEYWORDS = {"int", "void", "return"}
+_INTRINSICS = {
+    "sqr": (OpCode.SQR, 1),
+    "abs": (OpCode.ABS, 1),
+    "min": (OpCode.MIN, 2),
+    "max": (OpCode.MAX, 2),
+    "muladd": (OpCode.MULADD, 3),
+    "mulsub": (OpCode.MULSUB, 3),
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split the kernel source into tokens, dropping comments and whitespace."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup or "MISMATCH"
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = match.start() + text.rfind("\n") + 1
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {text!r}", line, column)
+        if kind == "IDENT" and text in _KEYWORDS:
+            kind = "KEYWORD"
+        tokens.append(Token(kind, text, line, column))
+    tokens.append(Token("EOF", "", line, 0))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+class _Parser:
+    """Recursive-descent parser building the DFG while it parses."""
+
+    def __init__(self, tokens: List[Token], name: Optional[str] = None):
+        self.tokens = tokens
+        self.position = 0
+        self.builder: Optional[DFGBuilder] = None
+        self.kernel_name = name
+        self.symbols: Dict[str, int] = {}
+        self.output_params: List[str] = []
+        self.outputs_written: Dict[str, int] = {}
+        self.returned: Optional[int] = None
+
+    # -- token helpers ------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.position + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar --------------------------------------------------------------
+    def parse_kernel(self) -> DFG:
+        self.expect("KEYWORD")  # return type: int or void
+        name_token = self.expect("IDENT")
+        if self.kernel_name is None:
+            self.kernel_name = name_token.text
+        self.builder = DFGBuilder(self.kernel_name)
+        self.expect("SYMBOL", "(")
+        self._parse_params()
+        self.expect("SYMBOL", ")")
+        self.expect("SYMBOL", "{")
+        while not self.accept("SYMBOL", "}"):
+            if self.peek().kind == "EOF":
+                raise ParseError("unexpected end of input inside kernel body")
+            self._parse_statement()
+        self._finish_outputs()
+        return self.builder.build()
+
+    def _parse_params(self) -> None:
+        assert self.builder is not None
+        if self.peek().kind == "SYMBOL" and self.peek().text == ")":
+            return
+        while True:
+            keyword = self.expect("KEYWORD")
+            if keyword.text not in ("int", "void"):
+                raise ParseError(
+                    f"unsupported parameter type {keyword.text!r}",
+                    keyword.line,
+                    keyword.column,
+                )
+            is_pointer = bool(self.accept("SYMBOL", "*"))
+            ident = self.expect("IDENT")
+            if is_pointer:
+                self.output_params.append(ident.text)
+            else:
+                self.symbols[ident.text] = self.builder.input(ident.text)
+            if not self.accept("SYMBOL", ","):
+                break
+
+    def _parse_statement(self) -> None:
+        assert self.builder is not None
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.text == "int":
+            self.advance()
+            ident = self.expect("IDENT")
+            self.expect("SYMBOL", "=")
+            value = self._parse_expression()
+            self.expect("SYMBOL", ";")
+            self.symbols[ident.text] = value
+            return
+        if token.kind == "KEYWORD" and token.text == "return":
+            self.advance()
+            value = self._parse_expression()
+            self.expect("SYMBOL", ";")
+            if self.returned is not None:
+                raise ParseError("multiple return statements", token.line, token.column)
+            self.returned = value
+            return
+        dereference = bool(self.accept("SYMBOL", "*"))
+        ident = self.expect("IDENT")
+        self.expect("SYMBOL", "=")
+        value = self._parse_expression()
+        self.expect("SYMBOL", ";")
+        if dereference or ident.text in self.output_params:
+            if ident.text not in self.output_params:
+                raise ParseError(
+                    f"{ident.text!r} is not an output parameter", ident.line, ident.column
+                )
+            self.outputs_written[ident.text] = value
+        else:
+            self.symbols[ident.text] = value
+
+    def _finish_outputs(self) -> None:
+        assert self.builder is not None
+        produced = False
+        for name in self.output_params:
+            if name in self.outputs_written:
+                self.builder.output(self.outputs_written[name], name)
+                produced = True
+        if self.returned is not None:
+            self.builder.output(self.returned, "O_return")
+            produced = True
+        if not produced:
+            raise ParseError("kernel produces no outputs (no return or *out assignment)")
+
+    # -- expressions (C precedence: * over +/- over <</>> over & ^ |) -----------
+    def _parse_expression(self) -> int:
+        return self._parse_bitor()
+
+    def _parse_bitor(self) -> int:
+        value = self._parse_bitxor()
+        while self.peek().kind == "SYMBOL" and self.peek().text == "|":
+            self.advance()
+            value = self.builder.or_(value, self._parse_bitxor())
+        return value
+
+    def _parse_bitxor(self) -> int:
+        value = self._parse_bitand()
+        while self.peek().kind == "SYMBOL" and self.peek().text == "^":
+            self.advance()
+            value = self.builder.xor(value, self._parse_bitand())
+        return value
+
+    def _parse_bitand(self) -> int:
+        value = self._parse_shift()
+        while self.peek().kind == "SYMBOL" and self.peek().text == "&":
+            self.advance()
+            value = self.builder.and_(value, self._parse_shift())
+        return value
+
+    def _parse_shift(self) -> int:
+        value = self._parse_additive()
+        while self.peek().kind == "SHIFT":
+            op = self.advance().text
+            rhs = self._parse_additive()
+            value = self.builder.shl(value, rhs) if op == "<<" else self.builder.shr(value, rhs)
+        return value
+
+    def _parse_additive(self) -> int:
+        value = self._parse_term()
+        while self.peek().kind == "SYMBOL" and self.peek().text in ("+", "-"):
+            op = self.advance().text
+            rhs = self._parse_term()
+            value = self.builder.add(value, rhs) if op == "+" else self.builder.sub(value, rhs)
+        return value
+
+    def _parse_term(self) -> int:
+        value = self._parse_unary()
+        while self.peek().kind == "SYMBOL" and self.peek().text == "*":
+            self.advance()
+            value = self.builder.mul(value, self._parse_unary())
+        return value
+
+    def _parse_unary(self) -> int:
+        token = self.peek()
+        if token.kind == "SYMBOL" and token.text == "-":
+            self.advance()
+            return self.builder.neg(self._parse_unary())
+        if token.kind == "SYMBOL" and token.text == "~":
+            self.advance()
+            return self.builder.not_(self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> int:
+        assert self.builder is not None
+        token = self.advance()
+        if token.kind == "NUMBER":
+            return self.builder.const(int(token.text, 0))
+        if token.kind == "IDENT":
+            if self.accept("SYMBOL", "("):
+                return self._parse_call(token)
+            if token.text not in self.symbols:
+                raise ParseError(
+                    f"use of undefined variable {token.text!r}", token.line, token.column
+                )
+            return self.symbols[token.text]
+        if token.kind == "SYMBOL" and token.text == "(":
+            value = self._parse_expression()
+            self.expect("SYMBOL", ")")
+            return value
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+    def _parse_call(self, name_token: Token) -> int:
+        assert self.builder is not None
+        name = name_token.text
+        if name not in _INTRINSICS:
+            raise ParseError(
+                f"unknown function {name!r} (supported intrinsics: "
+                f"{', '.join(sorted(_INTRINSICS))})",
+                name_token.line,
+                name_token.column,
+            )
+        opcode, arity = _INTRINSICS[name]
+        args: List[int] = []
+        if not self.accept("SYMBOL", ")"):
+            while True:
+                args.append(self._parse_expression())
+                if self.accept("SYMBOL", ")"):
+                    break
+                self.expect("SYMBOL", ",")
+        if len(args) != arity:
+            raise ParseError(
+                f"{name} expects {arity} argument(s), got {len(args)}",
+                name_token.line,
+                name_token.column,
+            )
+        return self.builder.op(opcode, *args)
+
+
+def parse_c_kernel(
+    source: str, name: Optional[str] = None, run_optimizer: bool = True
+) -> DFG:
+    """Parse a mini-C kernel into a DFG.
+
+    Parameters
+    ----------
+    source:
+        Kernel source text (a single function, see module docstring).
+    name:
+        Override the kernel name (defaults to the C function name).
+    run_optimizer:
+        Apply the standard optimization pipeline to the extracted graph,
+        mirroring what the HLS frontend would produce.
+    """
+    parser = _Parser(tokenize(source), name=name)
+    dfg = parser.parse_kernel()
+    if run_optimizer:
+        optimized = optimize(dfg)
+        optimized.name = dfg.name
+        return optimized
+    return dfg

@@ -1,0 +1,82 @@
+"""Published benchmark characteristics and II results (paper Table III).
+
+These constants are the ground truth this reproduction compares itself
+against: the DFG characteristics columns (I/O, #Ops, Depth) are matched
+exactly by the reconstructed kernels in :mod:`repro.kernels.library`, and the
+II columns are the paper's reported initiation intervals for the [14]
+baseline overlay and the V1-V4 overlays (V3/V4 with a fixed depth of 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class PaperCharacteristics:
+    """One row of the paper's Table III (plus the Fig. 2 'gradient' kernel)."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_operations: int
+    depth: int
+    ii_baseline: Optional[float] = None
+    ii_v1: Optional[float] = None
+    ii_v2: Optional[float] = None
+    ii_v3: Optional[float] = None
+    ii_v4: Optional[float] = None
+
+    @property
+    def io_signature(self) -> str:
+        return f"{self.num_inputs}/{self.num_outputs}"
+
+
+#: Structural characteristics of every kernel used in the paper.
+#: 'gradient' is the running example of Section III/IV (Fig. 2, Table II);
+#: the remaining eight rows are Table III.
+PAPER_CHARACTERISTICS: Dict[str, PaperCharacteristics] = {
+    "gradient": PaperCharacteristics(
+        "gradient", 5, 1, 11, 4, ii_baseline=11, ii_v1=6, ii_v2=3
+    ),
+    "chebyshev": PaperCharacteristics(
+        "chebyshev", 1, 1, 7, 7, ii_baseline=6, ii_v1=4, ii_v2=2, ii_v3=4, ii_v4=4
+    ),
+    "mibench": PaperCharacteristics(
+        "mibench", 3, 1, 13, 6, ii_baseline=14, ii_v1=8, ii_v2=4, ii_v3=8, ii_v4=8
+    ),
+    "qspline": PaperCharacteristics(
+        "qspline", 7, 1, 25, 8, ii_baseline=19, ii_v1=11, ii_v2=5.5, ii_v3=11, ii_v4=11
+    ),
+    "sgfilter": PaperCharacteristics(
+        "sgfilter", 2, 1, 18, 9, ii_baseline=13, ii_v1=8, ii_v2=4, ii_v3=8, ii_v4=8
+    ),
+    "poly5": PaperCharacteristics(
+        "poly5", 3, 1, 27, 9, ii_baseline=19, ii_v1=11, ii_v2=5.5, ii_v3=11, ii_v4=11
+    ),
+    "poly6": PaperCharacteristics(
+        "poly6", 3, 1, 44, 11, ii_baseline=25, ii_v1=14, ii_v2=7, ii_v3=13, ii_v4=12
+    ),
+    "poly7": PaperCharacteristics(
+        "poly7", 3, 1, 39, 13, ii_baseline=24, ii_v1=14, ii_v2=7, ii_v3=20, ii_v4=17
+    ),
+    "poly8": PaperCharacteristics(
+        "poly8", 3, 1, 32, 11, ii_baseline=21, ii_v1=12, ii_v2=6, ii_v3=16, ii_v4=14
+    ),
+}
+
+
+#: Convenience view of just the Table III II columns, keyed by kernel then
+#: overlay label ("baseline", "v1", "v2", "v3", "v4").
+PAPER_TABLE3_II: Dict[str, Dict[str, float]] = {
+    name: {
+        "baseline": row.ii_baseline,
+        "v1": row.ii_v1,
+        "v2": row.ii_v2,
+        "v3": row.ii_v3,
+        "v4": row.ii_v4,
+    }
+    for name, row in PAPER_CHARACTERISTICS.items()
+    if name != "gradient"
+}

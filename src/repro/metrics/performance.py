@@ -1,0 +1,178 @@
+"""Kernel/overlay performance evaluation (the quantities behind Fig. 6).
+
+For a kernel mapped onto an overlay the paper reports:
+
+* the initiation interval (II) in cycles,
+* the throughput in giga-operations per second:
+  ``GOPS = #ops * f / II`` (each data block executes every DFG operation once
+  and a new block starts every II cycles),
+* the latency in nanoseconds for one data block to traverse the overlay,
+* the FPGA resources of the overlay instance.
+
+The clock frequency comes from the calibrated resource model
+(:func:`repro.overlay.resources.overlay_fmax_mhz`).  The II and latency can
+be taken either from the analytic models (fast, used for sweeps) or measured
+with the cycle-accurate simulator (``simulate=True``), which also verifies
+functional correctness against the golden reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..dfg.analysis import dfg_depth
+from ..dfg.graph import DFG
+from ..errors import ConfigurationError
+from ..overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
+from ..overlay.fu import get_variant
+from ..overlay.resources import estimate_resources
+from ..schedule import analytic_ii, schedule_kernel
+from ..schedule.types import OverlaySchedule
+from ..sim.overlay import simulate_schedule
+
+
+def throughput_gops(num_operations: int, ii: float, fmax_mhz: float) -> float:
+    """Giga-operations per second: ``#ops * f / II``."""
+    if ii <= 0:
+        raise ConfigurationError("II must be positive")
+    return num_operations * fmax_mhz * 1e6 / ii / 1e9
+
+
+def latency_ns(latency_cycles: float, fmax_mhz: float) -> float:
+    """Convert a latency in cycles to nanoseconds at the given frequency."""
+    if fmax_mhz <= 0:
+        raise ConfigurationError("frequency must be positive")
+    return latency_cycles * 1e3 / fmax_mhz
+
+
+def analytic_latency_cycles(schedule: OverlaySchedule) -> float:
+    """Analytic upper-bound latency model: ``II_lane * depth + pipeline - 1``.
+
+    Each of the ``depth`` stages holds a block for one (per-lane) initiation
+    interval, plus the ALU pipeline of the final stage.  The simulator
+    measures a slightly smaller value because the first block does not pay
+    the full II at every stage; both numbers are reported in EXPERIMENTS.md.
+    """
+    per_lane_ii = analytic_ii(schedule) * schedule.variant.lanes
+    return per_lane_ii * schedule.depth + schedule.variant.alu_pipeline_depth - 1
+
+
+@dataclass
+class PerformanceResult:
+    """Performance of one kernel on one overlay."""
+
+    kernel_name: str
+    overlay_name: str
+    variant_name: str
+    num_operations: int
+    kernel_depth: int
+    overlay_depth: int
+    ii: float
+    fmax_mhz: float
+    throughput_gops: float
+    latency_cycles: float
+    latency_ns: float
+    dsp_blocks: int
+    logic_slices: int
+    scheduler: str
+    measured_ii: Optional[float] = None
+    simulated: bool = False
+    reference_match: Optional[bool] = None
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict representation used by the report tables and benches."""
+        return {
+            "kernel": self.kernel_name,
+            "overlay": self.overlay_name,
+            "variant": self.variant_name,
+            "ops": self.num_operations,
+            "depth": self.kernel_depth,
+            "fus": self.overlay_depth,
+            "ii": self.ii,
+            "fmax_mhz": round(self.fmax_mhz, 1),
+            "gops": round(self.throughput_gops, 3),
+            "latency_ns": round(self.latency_ns, 1),
+            "dsp": self.dsp_blocks,
+            "slices": self.logic_slices,
+        }
+
+
+def overlay_for(variant, dfg: DFG, fixed_depth: Optional[int] = None) -> LinearOverlay:
+    """Build the overlay instance the paper would use for this variant/kernel.
+
+    The [14]/V1/V2 overlays are sized to the kernel's critical path; the
+    write-back variants (V3-V5) use a fixed depth (8 unless overridden).
+    """
+    fu = get_variant(variant)
+    if fu.write_back:
+        return LinearOverlay.fixed(fu, fixed_depth or DEFAULT_FIXED_DEPTH)
+    return LinearOverlay.for_kernel(fu, dfg)
+
+
+def evaluate_kernel(
+    dfg: DFG,
+    variant,
+    fixed_depth: Optional[int] = None,
+    simulate: bool = False,
+    num_blocks: int = 12,
+) -> PerformanceResult:
+    """Map one kernel onto one overlay variant and evaluate it.
+
+    With ``simulate=True`` the cycle-accurate simulator provides the latency
+    and a measured II (and verifies functional correctness); otherwise the
+    analytic models are used throughout.
+    """
+    overlay = overlay_for(variant, dfg, fixed_depth=fixed_depth)
+    schedule = schedule_kernel(dfg, overlay)
+    resources = estimate_resources(overlay)
+    ii = analytic_ii(schedule)
+
+    measured_ii: Optional[float] = None
+    reference_match: Optional[bool] = None
+    if simulate:
+        sim = simulate_schedule(schedule, num_blocks=num_blocks)
+        measured_ii = sim.measured_ii
+        reference_match = sim.matches_reference
+        latency_cycles = float(sim.latency_cycles)
+    else:
+        latency_cycles = analytic_latency_cycles(schedule)
+
+    return PerformanceResult(
+        kernel_name=dfg.name,
+        overlay_name=overlay.name,
+        variant_name=overlay.variant.name,
+        num_operations=dfg.num_operations,
+        kernel_depth=dfg_depth(dfg),
+        overlay_depth=overlay.depth,
+        ii=ii,
+        fmax_mhz=resources.fmax_mhz,
+        throughput_gops=throughput_gops(dfg.num_operations, ii, resources.fmax_mhz),
+        latency_cycles=latency_cycles,
+        latency_ns=latency_ns(latency_cycles, resources.fmax_mhz),
+        dsp_blocks=resources.dsp_blocks,
+        logic_slices=resources.logic_slices,
+        scheduler=schedule.scheduler,
+        measured_ii=measured_ii,
+        simulated=simulate,
+        reference_match=reference_match,
+    )
+
+
+#: Overlay variants compared throughout the paper's evaluation section.
+EVALUATION_VARIANTS = ("baseline", "v1", "v2", "v3", "v4")
+
+
+def evaluate_kernel_all_overlays(
+    dfg: DFG,
+    variants: Sequence[str] = EVALUATION_VARIANTS,
+    fixed_depth: Optional[int] = None,
+    simulate: bool = False,
+) -> Dict[str, PerformanceResult]:
+    """Evaluate one kernel on every overlay variant of the paper's comparison."""
+    return {
+        str(variant): evaluate_kernel(
+            dfg, variant, fixed_depth=fixed_depth, simulate=simulate
+        )
+        for variant in variants
+    }

@@ -1,0 +1,149 @@
+"""Hardware context-switch time models (paper Section V).
+
+Two mechanisms exist for changing the application kernel running on the
+overlay:
+
+1. **Partial reconfiguration of the overlay itself** — required by the
+   critical-path-sized [14]/V1/V2 overlays whenever the new kernel's DFG
+   depth differs from the current overlay depth.  The reconfigurable region
+   spans a number of CLB and DSP tiles and is written through the Zynq
+   processor configuration access port (PCAP).  The paper quotes 0.73 ms for
+   the depth-8 V1 region (7 CLB tiles + 1 DSP tile) and 1.02 ms for the
+   depth-8 V2 region (9 CLB tiles + 2 DSP tiles).
+2. **Instruction-memory update only** — sufficient for the fixed-depth
+   write-back overlays (V3-V5): the ARM core streams the new per-FU
+   instruction words over AXI.  The paper quotes 0.29 us to load the largest
+   benchmark's configuration on V1 and 0.25 us for a full context switch on
+   the V3 overlay, i.e. a ~2900x reduction versus V1's PCAP path.
+
+The models below reproduce those numbers from first principles (region tile
+counts derived from the resource model, PCAP bandwidth, AXI configuration
+bandwidth) so the same machinery extends to other overlay sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from .architecture import LinearOverlay
+from .fu import get_variant
+from .resources import overlay_slices
+
+
+#: Logic slices available per CLB tile of a reconfigurable region (one clock
+#: region high on Zynq-7000); calibrated so a depth-8 V1 overlay (654 slices)
+#: needs 7 CLB tiles and a depth-8 V2 overlay (893 slices) needs 9.
+CLB_TILE_SLICES = 100
+
+#: DSP blocks per DSP tile of a reconfigurable region; calibrated so 8 DSPs
+#: fit in one tile and 16 need two.
+DSP_TILE_BLOCKS = 10
+
+#: Configuration data per reconfigurable-region tile (bytes).  Together with
+#: the PCAP bandwidth this reproduces the paper's 0.73 ms / 1.02 ms figures.
+BYTES_PER_TILE = 13_228
+
+#: Sustained PCAP throughput on Zynq-7000 (bytes/second).
+PCAP_BANDWIDTH_BYTES_PER_S = 145e6
+
+#: Bandwidth of the AXI path used to write FU instruction memories
+#: (32-bit words at ~150 MHz), bytes/second.
+CONFIG_BANDWIDTH_BYTES_PER_S = 600e6
+
+#: Instruction word size (bytes).
+INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ContextSwitchEstimate:
+    """Breakdown of a hardware context switch for one overlay + kernel."""
+
+    overlay_name: str
+    requires_partial_reconfiguration: bool
+    clb_tiles: int
+    dsp_tiles: int
+    pcap_time_s: float
+    instruction_words: int
+    instruction_load_time_s: float
+
+    @property
+    def total_time_s(self) -> float:
+        return self.pcap_time_s + self.instruction_load_time_s
+
+
+def reconfigurable_region(variant, depth: int) -> Tuple[int, int]:
+    """(CLB tiles, DSP tiles) of the minimum reconfigurable region."""
+    fu = get_variant(variant)
+    slices = overlay_slices(fu, depth)
+    dsps = fu.dsp_blocks * depth
+    clb_tiles = max(1, math.ceil(slices / CLB_TILE_SLICES))
+    dsp_tiles = max(1, math.ceil(dsps / DSP_TILE_BLOCKS))
+    return clb_tiles, dsp_tiles
+
+
+def pcap_configuration_time_s(variant, depth: int) -> float:
+    """Partial-reconfiguration time of the overlay region through the PCAP."""
+    clb_tiles, dsp_tiles = reconfigurable_region(variant, depth)
+    total_bytes = (clb_tiles + dsp_tiles) * BYTES_PER_TILE
+    return total_bytes / PCAP_BANDWIDTH_BYTES_PER_S
+
+
+def instruction_load_time_s(instruction_words: int) -> float:
+    """Time to stream ``instruction_words`` 32-bit words into the overlay."""
+    if instruction_words < 0:
+        raise ConfigurationError("instruction_words must be non-negative")
+    return instruction_words * INSTRUCTION_BYTES / CONFIG_BANDWIDTH_BYTES_PER_S
+
+
+def context_switch_time_s(
+    overlay: LinearOverlay,
+    instruction_words: int,
+    kernel_depth: Optional[int] = None,
+) -> ContextSwitchEstimate:
+    """Estimate the time to switch the overlay to a new kernel.
+
+    Parameters
+    ----------
+    overlay:
+        The overlay instance currently configured on the fabric.
+    instruction_words:
+        Number of 32-bit instruction words in the new kernel's configuration
+        (across all FUs), as produced by :mod:`repro.program.binary`.
+    kernel_depth:
+        DFG depth of the new kernel.  For critical-path-sized overlays a
+        depth different from the overlay's current depth forces partial
+        reconfiguration; fixed-depth overlays never need it.  ``None`` means
+        "assume the worst case for this overlay policy" (reconfiguration for
+        non-fixed overlays, none for fixed ones).
+    """
+    if overlay.fixed_depth:
+        needs_pr = False
+    elif kernel_depth is None:
+        needs_pr = True
+    else:
+        needs_pr = kernel_depth != overlay.depth
+    pcap_time = (
+        pcap_configuration_time_s(overlay.variant, overlay.depth) if needs_pr else 0.0
+    )
+    clb_tiles, dsp_tiles = reconfigurable_region(overlay.variant, overlay.depth)
+    return ContextSwitchEstimate(
+        overlay_name=overlay.name,
+        requires_partial_reconfiguration=needs_pr,
+        clb_tiles=clb_tiles,
+        dsp_tiles=dsp_tiles,
+        pcap_time_s=pcap_time,
+        instruction_words=instruction_words,
+        instruction_load_time_s=instruction_load_time_s(instruction_words),
+    )
+
+
+def context_switch_reduction(
+    reconfigured: ContextSwitchEstimate, fixed: ContextSwitchEstimate
+) -> float:
+    """Ratio between two context-switch estimates (the paper's 2900x claim)."""
+    if fixed.total_time_s <= 0:
+        raise ConfigurationError("fixed-overlay context switch time must be positive")
+    return reconfigured.total_time_s / fixed.total_time_s

@@ -1,0 +1,125 @@
+"""Register allocation for the rotating register file.
+
+Each FU keeps three kinds of values in its RAM32M register file:
+
+* the values **loaded** from the upstream FIFO each iteration (written by the
+  stream write port at the rotating offset),
+* the **constants** the kernel reads (preloaded once at configuration time),
+* the results **written back** by the FU's own instructions (V3-V5 only).
+
+The rotating offset counter double-buffers the per-iteration values, so one
+iteration may own at most half of the 32 physical entries on the overlapped
+variants ([14] serialises loads and execution and can use the full depth).
+Constants are allocated at the top of the register file, outside the rotating
+window, matching how the hardware would pin them.
+
+Allocation is trivial (the per-stage footprints of real kernels are small)
+but the capacity check matters: it is the point where "this kernel does not
+fit this FU" becomes a clean :class:`RegisterAllocationError` instead of a
+silent corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dfg.graph import DFG
+from ..errors import RegisterAllocationError
+from ..overlay.fu import FUVariant
+from ..schedule.types import SlotKind, StageSchedule
+
+
+@dataclass
+class RegisterAllocation:
+    """Register assignment for one FU stage."""
+
+    stage: int
+    value_registers: Dict[int, int] = field(default_factory=dict)
+    constant_registers: Dict[int, int] = field(default_factory=dict)
+
+    def register_of(self, value_id: int) -> int:
+        if value_id in self.value_registers:
+            return self.value_registers[value_id]
+        if value_id in self.constant_registers:
+            return self.constant_registers[value_id]
+        raise RegisterAllocationError(
+            f"stage {self.stage}: value N{value_id} has no register"
+        )
+
+    @property
+    def num_rotating_entries(self) -> int:
+        """Per-iteration register footprint (inside the rotating window)."""
+        return len(self.value_registers)
+
+    @property
+    def num_constant_entries(self) -> int:
+        return len(self.constant_registers)
+
+
+def allocate_registers(
+    stage: StageSchedule,
+    variant: FUVariant,
+    dfg: DFG,
+) -> RegisterAllocation:
+    """Allocate register-file addresses for one stage.
+
+    Loaded values get consecutive addresses in arrival order (that is how the
+    stream write port fills the rotating window); written-back results follow;
+    constants are pinned at the top of the register file.
+
+    Raises
+    ------
+    RegisterAllocationError
+        If the per-iteration footprint exceeds the rotating window or the
+        total footprint exceeds the physical register file.
+    """
+    allocation = RegisterAllocation(stage=stage.stage)
+    next_register = 0
+
+    for value_id in stage.load_order:
+        allocation.value_registers[value_id] = next_register
+        next_register += 1
+
+    for slot in stage.slots:
+        if slot.kind is SlotKind.COMPUTE and slot.write_back and slot.value_id is not None:
+            if slot.value_id not in allocation.value_registers:
+                allocation.value_registers[slot.value_id] = next_register
+                next_register += 1
+
+    constants: List[int] = []
+    seen = set()
+    for slot in stage.slots:
+        for operand in slot.operands:
+            if operand in seen or operand not in dfg:
+                continue
+            if dfg.node(operand).is_const:
+                constants.append(operand)
+            seen.add(operand)
+
+    rotating = len(allocation.value_registers)
+    window = variant.rf_frame_capacity
+    if rotating > window:
+        raise RegisterAllocationError(
+            f"stage {stage.stage} needs {rotating} rotating register entries per "
+            f"iteration but the {variant.paper_label} FU only offers {window}"
+        )
+    total = rotating + len(constants)
+    if variant.overlap_load_execute:
+        total = 2 * rotating + len(constants)  # double-buffered window
+    if total > variant.rf_depth:
+        raise RegisterAllocationError(
+            f"stage {stage.stage} needs {total} register entries (including "
+            f"double buffering and {len(constants)} constants) but the register "
+            f"file has {variant.rf_depth}"
+        )
+
+    # Constants live at the top of the register file, outside the window.
+    for index, const_id in enumerate(constants):
+        allocation.constant_registers[const_id] = variant.rf_depth - 1 - index
+
+    # Sanity: every operand of every slot must now have a register.
+    for slot in stage.slots:
+        for operand in slot.operands:
+            allocation.register_of(operand)
+    return allocation

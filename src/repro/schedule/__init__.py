@@ -1,0 +1,105 @@
+"""Scheduling: mapping kernel DFGs onto linear TM overlays.
+
+* :mod:`repro.schedule.asap` / :mod:`repro.schedule.alap` — levelization.
+* :mod:`repro.schedule.linear` — ASAP mapping for critical-path-depth
+  overlays ([14]/V1/V2) and for shallow kernels on fixed-depth overlays.
+* :mod:`repro.schedule.greedy` — iterative greedy cluster scheduling for
+  fixed-depth write-back overlays (V3-V5).
+* :mod:`repro.schedule.ordering` — IWP-aware intra-cluster ordering with NOP
+  insertion.
+* :mod:`repro.schedule.ii` — the analytic initiation-interval models
+  (Equations 1/2 and the V2 / fixed-depth extensions).
+* :mod:`repro.schedule.types` — schedule data structures.
+"""
+
+from .types import OverlaySchedule, ScheduledOp, SlotKind, StageSchedule
+from .asap import asap_assignment, level_occupancy, schedule_depth
+from .alap import alap_assignment, critical_nodes, mobility_ordered_nodes, slack_map
+from .linear import build_stage_schedules, schedule_linear
+from .greedy import (
+    build_clustered_stages,
+    cluster_membership,
+    initial_cluster_assignment,
+    refine_assignment,
+    schedule_fixed_depth,
+)
+from .ordering import (
+    chain_lengths,
+    count_required_nops,
+    intra_cluster_dependences,
+    order_cluster,
+    verify_ordering,
+)
+from .modulo import (
+    ModuloSchedule,
+    compare_with_overlay_ii,
+    minimum_ii,
+    modulo_schedule,
+    recurrence_minimum_ii,
+    resource_minimum_ii,
+)
+from .ii import (
+    analytic_ii,
+    bottleneck_stage,
+    ii_equation_baseline,
+    ii_equation_overlapped,
+    ii_reduction,
+    minimum_ii_bound,
+    per_stage_ii,
+    stage_ii,
+)
+
+
+def schedule_kernel(dfg, overlay):
+    """Schedule a kernel with the policy appropriate for the overlay.
+
+    Fixed-depth overlays use the greedy cluster scheduler (falling back to
+    ASAP when the kernel is shallow enough); critical-path-depth overlays use
+    ASAP scheduling.  This is the single entry point the rest of the library
+    (metrics, CLI, benches) uses.
+    """
+    if overlay.fixed_depth:
+        return schedule_fixed_depth(dfg, overlay)
+    return schedule_linear(dfg, overlay)
+
+
+__all__ = [
+    "OverlaySchedule",
+    "StageSchedule",
+    "ScheduledOp",
+    "SlotKind",
+    "schedule_kernel",
+    "schedule_linear",
+    "schedule_fixed_depth",
+    "build_stage_schedules",
+    "build_clustered_stages",
+    "cluster_membership",
+    "initial_cluster_assignment",
+    "refine_assignment",
+    "asap_assignment",
+    "schedule_depth",
+    "level_occupancy",
+    "alap_assignment",
+    "slack_map",
+    "critical_nodes",
+    "mobility_ordered_nodes",
+    "order_cluster",
+    "intra_cluster_dependences",
+    "chain_lengths",
+    "count_required_nops",
+    "verify_ordering",
+    "analytic_ii",
+    "per_stage_ii",
+    "stage_ii",
+    "bottleneck_stage",
+    "ii_equation_baseline",
+    "ii_equation_overlapped",
+    "ii_reduction",
+    "minimum_ii_bound",
+    "ModuloSchedule",
+    "modulo_schedule",
+    "minimum_ii",
+    "resource_minimum_ii",
+    "recurrence_minimum_ii",
+    "compare_with_overlay_ii",
+]

@@ -1,0 +1,56 @@
+"""ASAP scheduling (the mapping policy of the [14]/V1/V2 overlays).
+
+ASAP scheduling assigns every operation to the earliest level its operands
+allow; all operations of one level are then allocated to a single FU of the
+linear overlay (the paper, Section III).  Because consumers always sit at a
+strictly later level than their producers there are never data dependences
+*within* an FU's instruction stream, which is what lets the non-write-back
+FU designs get away without an internal forwarding path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..dfg.analysis import asap_levels, asap_stage_assignment, dfg_depth
+from ..dfg.graph import DFG
+from ..errors import InfeasibleScheduleError
+
+
+def asap_assignment(dfg: DFG, num_stages: int = 0) -> Dict[int, int]:
+    """Map every operation to its ASAP stage (level - 1).
+
+    ``num_stages`` only validates feasibility: if given (> 0) and smaller than
+    the DFG depth, the kernel cannot be mapped with ASAP scheduling onto that
+    many feed-forward stages and :class:`InfeasibleScheduleError` is raised.
+    """
+    depth = dfg_depth(dfg)
+    if num_stages and depth > num_stages:
+        raise InfeasibleScheduleError(
+            f"kernel {dfg.name!r} has depth {depth} but the overlay only has "
+            f"{num_stages} stages; use a write-back (fixed-depth) overlay or a "
+            "deeper overlay"
+        )
+    return asap_stage_assignment(dfg)
+
+
+def stage_of_level(level: int) -> int:
+    """Stage index an ASAP level maps to (levels are 1-based, stages 0-based)."""
+    if level < 1:
+        raise InfeasibleScheduleError(f"operation level must be >= 1, got {level}")
+    return level - 1
+
+
+def schedule_depth(dfg: DFG) -> int:
+    """Number of FU stages an ASAP-mapped overlay needs (the DFG depth)."""
+    return dfg_depth(dfg)
+
+
+def level_occupancy(dfg: DFG) -> Dict[int, int]:
+    """Number of operations per ASAP level (1-based)."""
+    occupancy: Dict[int, int] = {}
+    levels = asap_levels(dfg)
+    for node in dfg.operations():
+        level = levels[node.node_id]
+        occupancy[level] = occupancy.get(level, 0) + 1
+    return occupancy

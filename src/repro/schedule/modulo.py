@@ -1,0 +1,196 @@
+"""Idealised (CGRA-style) iterative modulo scheduling — a comparison baseline.
+
+Section IV of the paper notes that "most of the existing CGRA architectures
+adopt Modulo scheduling, or a derivative algorithm, to achieve a minimum II.
+However, Modulo scheduling is based on the assumption that each operation
+node is executed in 1 cycle and the transfer of data between two arbitrary
+FUs completes in 1 cycle, which is not realistic for highly pipelined
+architectures."
+
+To make that comparison concrete, this module implements exactly that
+idealised scheduler (a simplified form of Rau's iterative modulo scheduling,
+restricted to acyclic data-flow graphs — the overlay's target kernels have no
+loop-carried recurrences):
+
+* :func:`resource_minimum_ii` — ResMII = ceil(#ops / #FUs);
+* :func:`recurrence_minimum_ii` — RecMII (1 for acyclic graphs);
+* :func:`modulo_schedule` — assigns every operation a start slot such that at
+  most ``num_fus`` operations occupy the same slot modulo II, growing the II
+  until a feasible schedule exists.
+
+Comparing its II against the linear overlay's (Eq. 1/2 plus pass-through and
+pipeline effects) quantifies how much the 1-cycle assumptions hide — the gap
+the paper's architecture-aware scheduling has to close by construction
+instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dfg.analysis import asap_levels, dfg_depth
+from ..dfg.graph import DFG
+from ..errors import InfeasibleScheduleError, ScheduleError
+
+
+def resource_minimum_ii(dfg: DFG, num_fus: int) -> int:
+    """ResMII: every FU executes at most one operation per cycle."""
+    if num_fus < 1:
+        raise ScheduleError("at least one FU is required")
+    return max(1, math.ceil(dfg.num_operations / num_fus))
+
+
+def recurrence_minimum_ii(dfg: DFG) -> int:
+    """RecMII: 1 for the overlay's acyclic streaming kernels.
+
+    Kept as an explicit function so the comparison reads like the textbook
+    formulation (``MII = max(ResMII, RecMII)``) and so cyclic extensions have
+    an obvious place to plug in.
+    """
+    return 1
+
+
+def minimum_ii(dfg: DFG, num_fus: int) -> int:
+    """The classic modulo-scheduling lower bound MII = max(ResMII, RecMII)."""
+    return max(resource_minimum_ii(dfg, num_fus), recurrence_minimum_ii(dfg))
+
+
+@dataclass
+class ModuloSchedule:
+    """Result of the idealised modulo scheduler."""
+
+    dfg_name: str
+    num_fus: int
+    ii: int
+    start_slots: Dict[int, int] = field(default_factory=dict)
+    fu_assignment: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> int:
+        """Schedule length for one iteration (idealised latency in cycles)."""
+        return (max(self.start_slots.values()) + 1) if self.start_slots else 0
+
+    def operations_in_modulo_slot(self, slot: int) -> List[int]:
+        return [n for n, t in self.start_slots.items() if t % self.ii == slot]
+
+    def validate(self, dfg: DFG) -> List[str]:
+        """Check precedence and resource legality; returns violations."""
+        problems: List[str] = []
+        for node in dfg.operations():
+            start = self.start_slots.get(node.node_id)
+            if start is None:
+                problems.append(f"operation {node.name} is unscheduled")
+                continue
+            for operand in node.operands:
+                if operand in self.start_slots and self.start_slots[operand] >= start:
+                    problems.append(
+                        f"{node.name} starts at {start} but its operand "
+                        f"N{operand} starts at {self.start_slots[operand]}"
+                    )
+        for slot in range(self.ii):
+            occupancy = len(self.operations_in_modulo_slot(slot))
+            if occupancy > self.num_fus:
+                problems.append(
+                    f"modulo slot {slot} holds {occupancy} ops but only "
+                    f"{self.num_fus} FUs exist"
+                )
+        return problems
+
+
+def modulo_schedule(
+    dfg: DFG,
+    num_fus: int,
+    initial_ii: Optional[int] = None,
+    max_ii: Optional[int] = None,
+) -> ModuloSchedule:
+    """Schedule an acyclic kernel under the idealised CGRA assumptions.
+
+    Operations are visited in priority order (deepest first, i.e. longest
+    path to a sink) and greedily placed at the earliest cycle that satisfies
+    precedence (operands finish one cycle earlier) and the modulo resource
+    constraint (at most ``num_fus`` operations per slot modulo II).  If no
+    placement exists the II is incremented and scheduling restarts — the
+    outer loop of iterative modulo scheduling, without the backtracking that
+    cyclic graphs would need.
+    """
+    if num_fus < 1:
+        raise ScheduleError("at least one FU is required")
+    levels = asap_levels(dfg)
+    operations = sorted(
+        (n.node_id for n in dfg.operations()),
+        key=lambda node_id: (-levels[node_id], node_id),
+    )
+    # Height-based priority: critical (deep) chains first.
+    height: Dict[int, int] = {}
+    for node_id in reversed(dfg.topological_order()):
+        node = dfg.node(node_id)
+        if not node.is_operation:
+            continue
+        consumer_heights = [
+            height[c]
+            for c in dfg.consumer_ids(node_id)
+            if c in height
+        ]
+        height[node_id] = 1 + (max(consumer_heights) if consumer_heights else 0)
+    operations.sort(key=lambda n: (-height[n], levels[n], n))
+
+    ii = initial_ii or minimum_ii(dfg, num_fus)
+    ceiling = max_ii or (dfg.num_operations + dfg_depth(dfg) + 2)
+    while ii <= ceiling:
+        placement = _try_schedule(dfg, operations, num_fus, ii)
+        if placement is not None:
+            start_slots, fu_assignment = placement
+            return ModuloSchedule(
+                dfg_name=dfg.name,
+                num_fus=num_fus,
+                ii=ii,
+                start_slots=start_slots,
+                fu_assignment=fu_assignment,
+            )
+        ii += 1
+    raise InfeasibleScheduleError(
+        f"no modulo schedule for {dfg.name!r} on {num_fus} FUs with II <= {ceiling}"
+    )
+
+
+def _try_schedule(dfg, operations, num_fus, ii):
+    start_slots: Dict[int, int] = {}
+    fu_assignment: Dict[int, int] = {}
+    slot_occupancy: Dict[int, int] = {s: 0 for s in range(ii)}
+    horizon = ii * (dfg.num_operations + 2)
+    for node_id in operations:
+        node = dfg.node(node_id)
+        earliest = 0
+        for operand in node.operands:
+            if operand in start_slots:
+                earliest = max(earliest, start_slots[operand] + 1)
+        placed = False
+        for start in range(earliest, earliest + horizon):
+            if slot_occupancy[start % ii] < num_fus:
+                start_slots[node_id] = start
+                fu_assignment[node_id] = slot_occupancy[start % ii]
+                slot_occupancy[start % ii] += 1
+                placed = True
+                break
+        if not placed:
+            return None
+    return start_slots, fu_assignment
+
+
+def compare_with_overlay_ii(dfg: DFG, num_fus: int, overlay_ii: float) -> Dict[str, float]:
+    """Summarise the idealised-vs-real gap for one kernel.
+
+    Returns the idealised MII, the II the idealised modulo scheduler actually
+    achieves, the overlay's II, and the ratio between the two — the factor by
+    which the textbook assumptions underestimate the real initiation interval
+    on a deeply pipelined, linearly connected overlay.
+    """
+    schedule = modulo_schedule(dfg, num_fus)
+    return {
+        "mii": float(minimum_ii(dfg, num_fus)),
+        "modulo_ii": float(schedule.ii),
+        "overlay_ii": float(overlay_ii),
+        "optimism_factor": overlay_ii / schedule.ii if schedule.ii else float("inf"),
+    }

@@ -1,0 +1,234 @@
+"""Schedule data structures shared by the schedulers, codegen and simulator.
+
+A schedule describes, for every FU (stage) of a linear overlay:
+
+* the **load order** — which values arrive from the upstream FIFO each
+  iteration, in arrival order (this equals the emission order of the previous
+  stage, or the primary-input order for stage 0);
+* the **instruction slots** — the ordered ALU instruction stream the FU
+  executes each iteration: compute operations, pass-throughs of values needed
+  further downstream, and NOPs inserted by the fixed-depth scheduler to
+  satisfy the internal write-back path (IWP) spacing.
+
+These are *per-iteration* (steady-state) descriptions; the simulator replays
+them once per data block.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dfg.graph import DFG
+from ..dfg.opcodes import OpCode
+from ..errors import ScheduleError
+from ..overlay.architecture import LinearOverlay
+
+
+class SlotKind(enum.Enum):
+    """What an instruction slot does."""
+
+    COMPUTE = "compute"
+    PASS = "pass"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One instruction slot of one FU's per-iteration program.
+
+    Attributes
+    ----------
+    kind:
+        COMPUTE (a DFG operation), PASS (forward a transiting value) or NOP.
+    value_id:
+        The DFG node id of the value this slot produces (COMPUTE) or carries
+        (PASS); ``None`` for NOPs.
+    opcode:
+        ALU opcode; :attr:`OpCode.PASS` for passes, :attr:`OpCode.NOP` for NOPs.
+    operands:
+        DFG node ids read from the register file (empty for NOPs).
+    write_back:
+        Result is written back into this FU's register file (only meaningful
+        on write-back capable FU variants; set when a consumer lives in the
+        same stage).
+    forward:
+        Result is forwarded to the next FU / output FIFO.  ``False``
+        corresponds to the paper's NDF (no data forward) flag being set.
+    """
+
+    kind: SlotKind
+    value_id: Optional[int] = None
+    opcode: OpCode = OpCode.NOP
+    operands: Tuple[int, ...] = ()
+    write_back: bool = False
+    forward: bool = True
+
+    @classmethod
+    def nop(cls) -> "ScheduledOp":
+        return cls(kind=SlotKind.NOP, opcode=OpCode.NOP, forward=False)
+
+    @classmethod
+    def passthrough(cls, value_id: int) -> "ScheduledOp":
+        return cls(
+            kind=SlotKind.PASS,
+            value_id=value_id,
+            opcode=OpCode.PASS,
+            operands=(value_id,),
+        )
+
+    @property
+    def is_nop(self) -> bool:
+        return self.kind is SlotKind.NOP
+
+    @property
+    def emits(self) -> bool:
+        """Whether this slot pushes a value to the downstream FIFO."""
+        return self.kind is not SlotKind.NOP and self.forward
+
+    def describe(self, dfg: Optional[DFG] = None) -> str:
+        """Human-readable rendering (used in traces / the Table II harness)."""
+        if self.kind is SlotKind.NOP:
+            return "NOP"
+        if self.kind is SlotKind.PASS:
+            label = _value_label(dfg, self.value_id)
+            return f"PASS {label}"
+        operand_labels = " ".join(_value_label(dfg, v) for v in self.operands)
+        suffix = ""
+        if self.write_back:
+            suffix += " [wb]"
+        if not self.forward:
+            suffix += " [ndf]"
+        return f"{self.opcode.name} ({operand_labels}){suffix}"
+
+
+def _value_label(dfg: Optional[DFG], value_id: Optional[int]) -> str:
+    if value_id is None:
+        return "-"
+    if dfg is not None and value_id in dfg:
+        return dfg.node(value_id).name
+    return f"N{value_id}"
+
+
+@dataclass
+class StageSchedule:
+    """Per-iteration program of one FU (stage) of the overlay."""
+
+    stage: int
+    load_order: List[int] = field(default_factory=list)
+    slots: List[ScheduledOp] = field(default_factory=list)
+
+    # -- counts used by the II models ---------------------------------------
+    @property
+    def num_loads(self) -> int:
+        return len(self.load_order)
+
+    @property
+    def num_instructions(self) -> int:
+        """All instruction slots, NOPs included."""
+        return len(self.slots)
+
+    @property
+    def num_computes(self) -> int:
+        return sum(1 for s in self.slots if s.kind is SlotKind.COMPUTE)
+
+    @property
+    def num_passes(self) -> int:
+        return sum(1 for s in self.slots if s.kind is SlotKind.PASS)
+
+    @property
+    def num_nops(self) -> int:
+        return sum(1 for s in self.slots if s.kind is SlotKind.NOP)
+
+    @property
+    def emission_order(self) -> List[int]:
+        """Values pushed downstream each iteration, in push order."""
+        return [s.value_id for s in self.slots if s.emits and s.value_id is not None]
+
+    @property
+    def write_back_values(self) -> List[int]:
+        return [
+            s.value_id for s in self.slots if s.write_back and s.value_id is not None
+        ]
+
+    def slot_of_value(self, value_id: int) -> Optional[int]:
+        """Index of the slot producing ``value_id`` (None if not produced here)."""
+        for index, slot in enumerate(self.slots):
+            if slot.kind is SlotKind.COMPUTE and slot.value_id == value_id:
+                return index
+        return None
+
+
+@dataclass
+class OverlaySchedule:
+    """A complete mapping of one kernel onto one overlay."""
+
+    dfg: DFG
+    overlay: LinearOverlay
+    assignment: Dict[int, int]
+    stages: List[StageSchedule]
+    scheduler: str = "asap"
+
+    def __post_init__(self) -> None:
+        if len(self.stages) != self.overlay.depth:
+            raise ScheduleError(
+                f"schedule has {len(self.stages)} stages but the overlay has "
+                f"depth {self.overlay.depth}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def variant(self):
+        return self.overlay.variant
+
+    @property
+    def depth(self) -> int:
+        return self.overlay.depth
+
+    @property
+    def kernel_name(self) -> str:
+        return self.dfg.name
+
+    @property
+    def total_instruction_slots(self) -> int:
+        """All slots across all FUs (NOPs included) — configuration size."""
+        return sum(stage.num_instructions for stage in self.stages)
+
+    @property
+    def total_loads(self) -> int:
+        return sum(stage.num_loads for stage in self.stages)
+
+    @property
+    def total_nops(self) -> int:
+        return sum(stage.num_nops for stage in self.stages)
+
+    def stage(self, index: int) -> StageSchedule:
+        return self.stages[index]
+
+    def constants_used(self, stage_index: int) -> List[int]:
+        """Constant node ids read by the given stage (preloaded into its RF)."""
+        constants: List[int] = []
+        seen = set()
+        for slot in self.stages[stage_index].slots:
+            for operand in slot.operands:
+                if operand in seen or operand not in self.dfg:
+                    continue
+                if self.dfg.node(operand).is_const:
+                    constants.append(operand)
+                    seen.add(operand)
+        return constants
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (CLI / debugging)."""
+        lines = [
+            f"kernel {self.kernel_name!r} on {self.overlay.name} "
+            f"({self.scheduler} scheduling)"
+        ]
+        for stage in self.stages:
+            lines.append(
+                f"  FU{stage.stage}: loads={stage.num_loads} "
+                f"computes={stage.num_computes} passes={stage.num_passes} "
+                f"nops={stage.num_nops}"
+            )
+        return "\n".join(lines)

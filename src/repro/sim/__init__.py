@@ -1,0 +1,36 @@
+"""Cycle-accurate functional simulation of the linear TM overlay.
+
+The simulator executes an :class:`~repro.schedule.types.OverlaySchedule` the
+way the hardware would: every FU runs its per-iteration program repeatedly,
+loads stream in through the FIFO channels, results flow down the cascade with
+the ALU pipeline latency, write-back results land in the register file after
+the IWP, and the block gaps of the rotating register file are respected.
+
+Its two jobs:
+
+* **functional verification** — the output stream must match the golden
+  reference model (:mod:`repro.kernels.reference`) for every kernel;
+* **timing measurement** — the steady-state initiation interval and the
+  block latency are measured from the simulation and cross-checked against
+  the analytic II models (Equations 1/2).
+"""
+
+from .alu import alu_execute
+from .fifo import StreamFIFO
+from .rf import RegisterFileModel
+from .fu import FUSimulator
+from .overlay import OverlaySimulator, SimulationResult, simulate_schedule
+from .trace import TraceEvent, TraceRecorder, render_schedule_table
+
+__all__ = [
+    "alu_execute",
+    "StreamFIFO",
+    "RegisterFileModel",
+    "FUSimulator",
+    "OverlaySimulator",
+    "SimulationResult",
+    "simulate_schedule",
+    "TraceEvent",
+    "TraceRecorder",
+    "render_schedule_table",
+]

@@ -1,0 +1,146 @@
+"""Unit tests for repro.dfg.analysis."""
+
+import pytest
+
+from repro.dfg.analysis import (
+    alap_levels,
+    asap_levels,
+    asap_stage_assignment,
+    characteristics,
+    critical_path,
+    dfg_depth,
+    level_sets,
+    operation_histogram,
+    slack,
+    stage_traffic,
+    value_lifetimes,
+)
+from repro.dfg.opcodes import OpCode
+from repro.errors import DFGValidationError
+from repro.kernels import PAPER_CHARACTERISTICS
+
+
+class TestLevels:
+    def test_inputs_are_level_zero(self, diamond_dfg):
+        levels = asap_levels(diamond_dfg)
+        for node in diamond_dfg.inputs():
+            assert levels[node.node_id] == 0
+
+    def test_asap_level_is_one_past_latest_operand(self, diamond_dfg):
+        levels = asap_levels(diamond_dfg)
+        for node in diamond_dfg.operations():
+            assert levels[node.node_id] == 1 + max(levels[o] for o in node.operands)
+
+    def test_gradient_depth_matches_paper(self, gradient):
+        assert dfg_depth(gradient) == 4
+
+    def test_level_sets_cover_all_operations(self, gradient):
+        groups = level_sets(gradient)
+        assert sum(len(g) for g in groups) == gradient.num_operations
+        assert len(groups) == dfg_depth(gradient)
+
+    def test_gradient_level_occupancy(self, gradient):
+        groups = level_sets(gradient)
+        assert [len(g) for g in groups] == [4, 4, 2, 1]
+
+    def test_alap_never_before_asap(self, qspline):
+        asap = asap_levels(qspline)
+        alap = alap_levels(qspline)
+        for node in qspline.operations():
+            assert alap[node.node_id] >= asap[node.node_id]
+
+    def test_slack_zero_on_critical_path(self, qspline):
+        s = slack(qspline)
+        path = critical_path(qspline)
+        assert path, "critical path must not be empty"
+        for node_id in path:
+            assert s[node_id] == 0
+
+    def test_critical_path_length_equals_depth(self, benchmarks):
+        for name, dfg in benchmarks.items():
+            assert len(critical_path(dfg)) == dfg_depth(dfg), name
+
+    def test_critical_path_is_a_chain(self, poly7):
+        path = critical_path(poly7)
+        for producer, consumer in zip(path, path[1:]):
+            assert producer in poly7.node(consumer).operands
+
+    def test_alap_with_extended_depth_adds_slack(self, gradient):
+        relaxed = alap_levels(gradient, depth=8)
+        tight = alap_levels(gradient, depth=4)
+        ops = [n.node_id for n in gradient.operations()]
+        assert all(relaxed[o] >= tight[o] for o in ops)
+
+
+class TestCharacteristics:
+    @pytest.mark.parametrize("name", list(PAPER_CHARACTERISTICS))
+    def test_characteristics_match_paper(self, benchmarks, name):
+        published = PAPER_CHARACTERISTICS[name]
+        measured = characteristics(benchmarks[name])
+        assert measured.num_inputs == published.num_inputs
+        assert measured.num_outputs == published.num_outputs
+        assert measured.num_operations == published.num_operations
+        assert measured.depth == published.depth
+
+    def test_histogram_counts_all_operations(self, gradient):
+        histogram = operation_histogram(gradient)
+        assert sum(histogram.values()) == gradient.num_operations
+        assert histogram[OpCode.SUB] == 4
+        assert histogram[OpCode.SQR] == 4
+        assert histogram[OpCode.ADD] == 3
+
+
+class TestStageTraffic:
+    def test_gradient_stage0_matches_paper_counts(self, gradient):
+        assignment = asap_stage_assignment(gradient)
+        traffic = stage_traffic(gradient, assignment)
+        stage0 = traffic[0]
+        assert stage0.num_loads == 5      # five stencil samples
+        assert stage0.num_computes == 4   # four subtractions
+        assert stage0.num_passes == 0
+
+    def test_loads_of_stage_k_equal_emissions_of_previous(self, qspline):
+        assignment = asap_stage_assignment(qspline)
+        traffic = stage_traffic(qspline, assignment)
+        for previous, current in zip(traffic, traffic[1:]):
+            assert set(previous.emits) == set(current.loads)
+
+    def test_pass_through_values_are_also_loaded(self, qspline):
+        assignment = asap_stage_assignment(qspline)
+        for entry in stage_traffic(qspline, assignment):
+            assert set(entry.passes).issubset(set(entry.loads))
+
+    def test_missing_assignment_rejected(self, gradient):
+        with pytest.raises(DFGValidationError):
+            stage_traffic(gradient, {})
+
+    def test_out_of_range_stage_rejected(self, gradient):
+        assignment = asap_stage_assignment(gradient)
+        bad = dict(assignment)
+        bad[next(iter(bad))] = 99
+        with pytest.raises(DFGValidationError):
+            stage_traffic(gradient, bad, num_stages=4)
+
+    def test_extra_trailing_stages_only_pass(self, gradient):
+        assignment = asap_stage_assignment(gradient)
+        traffic = stage_traffic(gradient, assignment, num_stages=6)
+        for entry in traffic[4:]:
+            assert entry.num_computes == 0
+            assert entry.num_passes >= 1  # the output value transits
+
+    def test_value_lifetimes_cover_inputs_and_ops(self, gradient):
+        assignment = asap_stage_assignment(gradient)
+        lifetimes = value_lifetimes(gradient, assignment)
+        for node in gradient.inputs():
+            produced, needed = lifetimes[node.node_id]
+            assert produced == -1
+            assert needed >= 0
+        for node in gradient.operations():
+            produced, needed = lifetimes[node.node_id]
+            assert needed >= produced
+
+    def test_output_feeding_value_needed_until_boundary(self, gradient):
+        assignment = asap_stage_assignment(gradient)
+        lifetimes = value_lifetimes(gradient, assignment, num_stages=4)
+        final_value = gradient.outputs()[0].operands[0]
+        assert lifetimes[final_value][1] == 4

@@ -1,0 +1,86 @@
+"""Unit tests for repro.dfg.serialize."""
+
+import pytest
+
+from repro.dfg.serialize import from_dict, from_json, load, save, to_dict, to_dot, to_json
+from repro.errors import DFGValidationError
+from repro.kernels.reference import evaluate_dfg
+
+
+class TestJSONRoundTrip:
+    def test_roundtrip_preserves_structure(self, benchmarks):
+        for name, dfg in benchmarks.items():
+            restored = from_json(to_json(dfg))
+            assert restored.name == dfg.name
+            assert restored.num_inputs == dfg.num_inputs
+            assert restored.num_operations == dfg.num_operations
+            assert len(restored.edges()) == len(dfg.edges()), name
+
+    def test_roundtrip_preserves_semantics(self, gradient):
+        restored = from_json(to_json(gradient))
+        sample = [9, 4, 7, 1, -2]
+        assert evaluate_dfg(restored, sample) == evaluate_dfg(gradient, sample)
+
+    def test_file_roundtrip(self, tmp_path, qspline):
+        path = tmp_path / "qspline.json"
+        save(qspline, str(path))
+        restored = load(str(path))
+        assert restored.num_operations == qspline.num_operations
+
+    def test_nodes_out_of_order_are_resolved(self):
+        data = {
+            "name": "ooo",
+            "nodes": [
+                {"id": 3, "op": "add", "operands": [1, 2]},
+                {"id": 4, "op": "output", "operands": [3]},
+                {"id": 1, "op": "input", "operands": []},
+                {"id": 2, "op": "input", "operands": []},
+            ],
+        }
+        dfg = from_dict(data)
+        assert dfg.num_operations == 1
+        assert evaluate_dfg(dfg, [2, 3]) == [5]
+
+    def test_constants_survive_roundtrip(self, chain_dfg):
+        restored = from_json(to_json(chain_dfg))
+        assert sorted(c.value for c in restored.constants()) == sorted(
+            c.value for c in chain_dfg.constants()
+        )
+
+    def test_missing_nodes_key_rejected(self):
+        with pytest.raises(DFGValidationError):
+            from_dict({"name": "x"})
+
+    def test_duplicate_ids_rejected(self):
+        data = {
+            "nodes": [
+                {"id": 1, "op": "input"},
+                {"id": 1, "op": "input"},
+            ]
+        }
+        with pytest.raises(DFGValidationError):
+            from_dict(data, validate=False)
+
+    def test_unresolvable_operand_rejected(self):
+        data = {
+            "nodes": [
+                {"id": 1, "op": "input"},
+                {"id": 2, "op": "add", "operands": [1, 99]},
+                {"id": 3, "op": "output", "operands": [2]},
+            ]
+        }
+        with pytest.raises(DFGValidationError):
+            from_dict(data)
+
+
+class TestDotExport:
+    def test_dot_contains_every_node_and_edge(self, gradient):
+        dot = to_dot(gradient)
+        assert dot.startswith("digraph")
+        for node in gradient.nodes():
+            assert f"n{node.node_id}" in dot
+        assert dot.count("->") == len(gradient.edges())
+
+    def test_dot_groups_levels_into_ranks(self, gradient):
+        assert "rank=same" in to_dot(gradient, levels=True)
+        assert "rank=same" not in to_dot(gradient, levels=False)

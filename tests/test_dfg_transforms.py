@@ -1,0 +1,171 @@
+"""Unit tests for repro.dfg.transforms."""
+
+import pytest
+
+from repro.dfg.analysis import dfg_depth
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.opcodes import OpCode
+from repro.dfg.transforms import (
+    common_subexpression_elimination,
+    constant_folding,
+    dead_code_elimination,
+    optimize,
+    rebalance_reductions,
+    strength_reduce_squares,
+)
+from repro.kernels.reference import evaluate_dfg
+
+
+def _kernel_with_dead_code():
+    b = DFGBuilder("dead")
+    x = b.input("x")
+    y = b.input("y")
+    live = b.add(x, y)
+    b.mul(x, y)  # dead: never reaches an output
+    b.output(live, "out")
+    return b.build(validate=False)
+
+
+def _kernel_with_constants():
+    b = DFGBuilder("const")
+    x = b.input("x")
+    c1 = b.const(3)
+    c2 = b.const(4)
+    folded = b.mul(c1, c2)          # 12, known at compile time
+    b.output(b.add(x, folded), "out")
+    return b.build()
+
+
+def _kernel_with_cse():
+    b = DFGBuilder("cse")
+    x = b.input("x")
+    y = b.input("y")
+    p1 = b.mul(x, y)
+    p2 = b.mul(x, y)                # identical to p1
+    p3 = b.mul(y, x)                # commutatively identical to p1
+    b.output(b.add(b.add(p1, p2), p3), "out")
+    return b.build()
+
+
+class TestDeadCodeElimination:
+    def test_removes_dead_operations(self):
+        dfg = _kernel_with_dead_code()
+        cleaned = dead_code_elimination(dfg)
+        assert cleaned.num_operations == 1
+        assert dfg.num_operations == 2  # original untouched
+
+    def test_preserves_inputs(self):
+        cleaned = dead_code_elimination(_kernel_with_dead_code())
+        assert cleaned.num_inputs == 2
+
+    def test_preserves_semantics(self):
+        dfg = _kernel_with_dead_code()
+        cleaned = dead_code_elimination(dfg)
+        assert evaluate_dfg(cleaned, [5, 7]) == evaluate_dfg(dfg, [5, 7])
+
+
+class TestConstantFolding:
+    def test_folds_constant_subtree(self):
+        folded = constant_folding(_kernel_with_constants())
+        assert folded.num_operations == 1  # only the x + 12 remains
+        assert any(c.value == 12 for c in folded.constants())
+
+    def test_preserves_semantics(self):
+        dfg = _kernel_with_constants()
+        folded = constant_folding(dfg)
+        for x in (-3, 0, 11):
+            assert evaluate_dfg(folded, [x]) == evaluate_dfg(dfg, [x])
+
+    def test_noop_without_constant_subtrees(self, gradient):
+        folded = constant_folding(gradient)
+        assert folded.num_operations == gradient.num_operations
+
+
+class TestCSE:
+    def test_merges_identical_and_commutative_twins(self):
+        dfg = _kernel_with_cse()
+        merged = common_subexpression_elimination(dfg)
+        muls = [n for n in merged.operations() if n.opcode is OpCode.MUL]
+        assert len(muls) == 1
+
+    def test_preserves_semantics(self):
+        dfg = _kernel_with_cse()
+        merged = common_subexpression_elimination(dfg)
+        assert evaluate_dfg(merged, [3, 4]) == evaluate_dfg(dfg, [3, 4])
+
+    def test_non_commutative_twins_not_merged(self):
+        b = DFGBuilder("sub")
+        x, y = b.input("x"), b.input("y")
+        b.output(b.add(b.sub(x, y), b.sub(y, x)), "out")
+        dfg = b.build()
+        merged = common_subexpression_elimination(dfg)
+        subs = [n for n in merged.operations() if n.opcode is OpCode.SUB]
+        assert len(subs) == 2
+
+
+class TestStrengthReduction:
+    def test_mul_by_self_becomes_sqr(self):
+        b = DFGBuilder("sq")
+        x = b.input("x")
+        b.output(b.mul(x, x), "out")
+        reduced = strength_reduce_squares(b.build())
+        assert [n.opcode for n in reduced.operations()] == [OpCode.SQR]
+
+    def test_general_mul_untouched(self, diamond_dfg):
+        reduced = strength_reduce_squares(diamond_dfg)
+        assert OpCode.MUL in {n.opcode for n in reduced.operations()}
+
+    def test_preserves_semantics(self):
+        b = DFGBuilder("sq")
+        x = b.input("x")
+        b.output(b.mul(x, x), "out")
+        dfg = b.build()
+        assert evaluate_dfg(strength_reduce_squares(dfg), [-9]) == [81]
+
+
+class TestRebalance:
+    def test_chain_depth_reduced(self):
+        b = DFGBuilder("chain")
+        values = [b.input(f"x{i}") for i in range(8)]
+        b.output(b.reduce(OpCode.ADD, values, balanced=False), "out")
+        dfg = b.build()
+        rebalanced = dead_code_elimination(rebalance_reductions(dfg))
+        assert dfg_depth(dfg) == 7
+        assert dfg_depth(rebalanced) == 3
+
+    def test_preserves_semantics(self):
+        b = DFGBuilder("chain")
+        values = [b.input(f"x{i}") for i in range(6)]
+        b.output(b.reduce(OpCode.ADD, values, balanced=False), "out")
+        dfg = b.build()
+        rebalanced = dead_code_elimination(rebalance_reductions(dfg))
+        samples = list(range(1, 7))
+        assert evaluate_dfg(rebalanced, samples) == evaluate_dfg(dfg, samples)
+
+    def test_multi_use_intermediates_preserved(self, diamond_dfg):
+        rebalanced = rebalance_reductions(diamond_dfg)
+        assert evaluate_dfg(rebalanced, [7, 3]) == evaluate_dfg(diamond_dfg, [7, 3])
+
+
+class TestOptimizePipeline:
+    def test_optimize_runs_all_passes(self):
+        b = DFGBuilder("mix")
+        x = b.input("x")
+        sq = b.mul(x, x)
+        c = b.mul(b.const(2), b.const(3))
+        dup1 = b.add(sq, c)
+        dup2 = b.add(sq, c)
+        b.mul(x, b.const(7))  # dead
+        b.output(b.add(dup1, dup2), "out")
+        dfg = b.build(validate=False)
+        optimized = optimize(dfg)
+        opcodes = [n.opcode for n in optimized.operations()]
+        assert OpCode.SQR in opcodes                     # strength reduction
+        assert optimized.num_operations < dfg.num_operations  # CSE + DCE + folding
+        assert evaluate_dfg(optimized, [5]) == evaluate_dfg(dfg, [5])
+
+    @pytest.mark.parametrize("rebalance", [False, True])
+    def test_optimize_preserves_kernel_semantics(self, benchmarks, rebalance):
+        dfg = benchmarks["mibench"]
+        optimized = optimize(dfg, rebalance=rebalance)
+        assert evaluate_dfg(optimized, [3, -4, 5]) == evaluate_dfg(dfg, [3, -4, 5])

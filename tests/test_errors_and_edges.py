@@ -1,0 +1,113 @@
+"""Error-hierarchy tests and assorted edge-case coverage."""
+
+import pytest
+
+from repro import errors
+from repro.kernels import get_kernel
+from repro.overlay.architecture import LinearOverlay
+from repro.overlay.fu import V2, V3, V5
+from repro.overlay.tile import OverlayTile, TileTopology
+from repro.program.binary import ConfigurationImage, build_configuration_image
+from repro.program.codegen import generate_program
+from repro.schedule import analytic_ii, schedule_kernel
+from repro.sim.overlay import simulate_schedule
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        leaf_errors = [
+            errors.DFGValidationError,
+            errors.UnknownNodeError,
+            errors.ParseError,
+            errors.TraceError,
+            errors.InfeasibleScheduleError,
+            errors.RegisterAllocationError,
+            errors.EncodingError,
+            errors.SimulationError,
+            errors.ConfigurationError,
+            errors.KernelError,
+        ]
+        for leaf in leaf_errors:
+            assert issubclass(leaf, errors.ReproError)
+
+    def test_intermediate_groupings(self):
+        assert issubclass(errors.ParseError, errors.FrontendError)
+        assert issubclass(errors.RegisterAllocationError, errors.CodegenError)
+        assert issubclass(errors.InfeasibleScheduleError, errors.ScheduleError)
+
+    def test_parse_error_carries_location(self):
+        error = errors.ParseError("boom", line=3, column=9)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 9
+
+    def test_single_catch_all_at_the_tool_boundary(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("deadlock")
+
+
+class TestV5Overlay:
+    """V5 (IWP = 3) is not part of the paper's Table III comparison but the
+    flow must support it end-to-end, since Table I defines it."""
+
+    def test_v5_maps_and_verifies_deep_kernels(self):
+        poly7 = get_kernel("poly7")
+        schedule = schedule_kernel(poly7, LinearOverlay.fixed(V5, 8))
+        result = simulate_schedule(schedule, num_blocks=6, seed=9)
+        assert result.matches_reference
+        assert result.measured_ii == pytest.approx(analytic_ii(schedule))
+
+    def test_v5_needs_fewest_nops(self):
+        poly7 = get_kernel("poly7")
+        nops = {
+            variant.name: schedule_kernel(poly7, LinearOverlay.fixed(variant, 8)).total_nops
+            for variant in (V3, V5)
+        }
+        assert nops["v5"] <= nops["v3"]
+
+    def test_v5_programs_encode(self):
+        sgfilter = get_kernel("sgfilter")
+        schedule = schedule_kernel(sgfilter, LinearOverlay.fixed(V5, 8))
+        image = build_configuration_image(schedule)
+        restored = ConfigurationImage.from_bytes(image.to_bytes())
+        assert restored.total_instruction_words == image.total_instruction_words
+
+
+class TestTileMapping:
+    def test_series_tile_maps_a_deep_kernel_like_a_depth16_overlay(self):
+        poly7 = get_kernel("poly7")
+        tile = OverlayTile(overlay=LinearOverlay.fixed(V3, 8), topology=TileTopology.SERIES)
+        schedule = schedule_kernel(poly7, tile.as_overlay())
+        assert schedule.depth == 16
+        result = simulate_schedule(schedule, num_blocks=4, seed=4)
+        assert result.matches_reference
+
+    def test_series_tile_lowers_ii_versus_single_overlay(self):
+        poly7 = get_kernel("poly7")
+        tile = OverlayTile(overlay=LinearOverlay.fixed(V3, 8), topology=TileTopology.SERIES)
+        single = analytic_ii(schedule_kernel(poly7, LinearOverlay.fixed(V3, 8)))
+        tiled = analytic_ii(schedule_kernel(poly7, tile.as_overlay()))
+        assert tiled <= single
+
+
+class TestBaselineProgramSizes:
+    def test_baseline_images_are_larger_due_to_load_words(self):
+        qspline = get_kernel("qspline")
+        baseline_image = build_configuration_image(
+            schedule_kernel(qspline, LinearOverlay.for_kernel("baseline", qspline))
+        )
+        v1_image = build_configuration_image(
+            schedule_kernel(qspline, LinearOverlay.for_kernel("v1", qspline))
+        )
+        assert baseline_image.total_instruction_words > v1_image.total_instruction_words
+
+    def test_v2_program_identical_to_v1(self):
+        """V2 replicates the datapath but shares instruction memory, so the
+        generated program is the same as V1's."""
+        mibench = get_kernel("mibench")
+        v1_program = generate_program(
+            schedule_kernel(mibench, LinearOverlay.for_kernel("v1", mibench))
+        )
+        v2_program = generate_program(
+            schedule_kernel(mibench, LinearOverlay.for_kernel(V2, mibench))
+        )
+        assert v1_program.total_instruction_words == v2_program.total_instruction_words

@@ -1,0 +1,80 @@
+"""Tests for the golden reference evaluator."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import get_kernel
+from repro.kernels.reference import (
+    evaluate_dfg,
+    intermediate_values,
+    level_ordered_values,
+    random_input_blocks,
+    reference_outputs,
+)
+
+
+class TestEvaluation:
+    def test_positional_and_named_inputs_agree(self, gradient):
+        positional = evaluate_dfg(gradient, [1, 2, 3, 4, 5])
+        ports = {node.name.split("_N")[0]: v for node, v in zip(gradient.inputs(), [1, 2, 3, 4, 5])}
+        assert evaluate_dfg(gradient, ports) == positional
+
+    def test_wrong_arity_rejected(self, gradient):
+        with pytest.raises(KernelError):
+            evaluate_dfg(gradient, [1, 2, 3])
+
+    def test_unknown_port_rejected(self, gradient):
+        with pytest.raises(KernelError):
+            evaluate_dfg(gradient, {"bogus": 1})
+
+    def test_missing_port_rejected(self, gradient):
+        ports = {node.name.split("_N")[0]: 1 for node in gradient.inputs()[:-1]}
+        with pytest.raises(KernelError):
+            evaluate_dfg(gradient, ports)
+
+    def test_results_wrap_to_32bit(self):
+        dfg = get_kernel("poly6")
+        values = evaluate_dfg(dfg, [2 ** 20, 2 ** 20, 2 ** 20])
+        assert all(-(2 ** 31) <= v <= 2 ** 31 - 1 for v in values)
+
+    def test_reference_outputs_streams_blocks(self, gradient):
+        blocks = [[1, 2, 3, 4, 5], [5, 4, 3, 2, 1], [0, 0, 0, 0, 0]]
+        results = reference_outputs(gradient, blocks)
+        assert len(results) == 3
+        assert results[2] == [0]
+
+
+class TestIntermediateValues:
+    def test_every_node_gets_a_value(self, qspline):
+        values = intermediate_values(qspline, [1, 2, 3, 4, 5, 6, 7])
+        assert set(values) == set(qspline.node_ids())
+
+    def test_level_ordered_values_grouping(self, gradient):
+        grouped = level_ordered_values(gradient, [1, 2, 3, 4, 5])
+        # level 0 holds the 5 inputs, level 1 the 4 subtraction results, ...
+        assert len(grouped[0]) == 5
+        assert len(grouped[1]) == 4
+        assert len(grouped[-1]) == 1
+
+
+class TestRandomBlocks:
+    def test_block_shape_matches_kernel(self, qspline):
+        blocks = random_input_blocks(qspline, 6, seed=3)
+        assert len(blocks) == 6
+        assert all(len(b) == qspline.num_inputs for b in blocks)
+
+    def test_seed_determinism(self, gradient):
+        assert random_input_blocks(gradient, 4, seed=1) == random_input_blocks(
+            gradient, 4, seed=1
+        )
+        assert random_input_blocks(gradient, 4, seed=1) != random_input_blocks(
+            gradient, 4, seed=2
+        )
+
+    def test_value_range_respected(self, gradient):
+        blocks = random_input_blocks(gradient, 10, seed=0, low=-5, high=5)
+        assert all(-5 <= v <= 5 for block in blocks for v in block)
+
+    def test_negative_count_rejected(self, gradient):
+        with pytest.raises(KernelError):
+            random_input_blocks(gradient, -1)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.dfg.opcodes."""
+
+import pytest
+
+from repro.dfg.opcodes import (
+    COMPUTE_OPCODES,
+    OP_ARITY,
+    OP_SEMANTICS,
+    OpCode,
+    parse_opcode,
+)
+
+
+class TestOpcodeClassification:
+    def test_structural_opcodes(self):
+        assert OpCode.INPUT.is_structural
+        assert OpCode.OUTPUT.is_structural
+        assert OpCode.CONST.is_structural
+        assert not OpCode.ADD.is_structural
+
+    def test_control_opcodes(self):
+        assert OpCode.LOAD.is_control
+        assert OpCode.PASS.is_control
+        assert OpCode.NOP.is_control
+        assert not OpCode.MUL.is_control
+
+    def test_compute_opcodes_are_neither_structural_nor_control(self):
+        for op in COMPUTE_OPCODES:
+            assert op.is_compute
+            assert not op.is_structural
+            assert not op.is_control
+
+    def test_every_opcode_has_arity(self):
+        for op in OpCode:
+            assert op in OP_ARITY
+
+    def test_commutativity(self):
+        assert OpCode.ADD.is_commutative
+        assert OpCode.MUL.is_commutative
+        assert not OpCode.SUB.is_commutative
+        assert not OpCode.SHL.is_commutative
+
+
+class TestSemantics:
+    def test_add_sub_mul(self):
+        assert OpCode.ADD.evaluate(3, 4) == 7
+        assert OpCode.SUB.evaluate(3, 4) == -1
+        assert OpCode.MUL.evaluate(3, 4) == 12
+
+    def test_sqr_is_unary(self):
+        assert OpCode.SQR.evaluate(-5) == 25
+
+    def test_muladd_and_mulsub(self):
+        assert OpCode.MULADD.evaluate(2, 3, 4) == 10
+        assert OpCode.MULSUB.evaluate(2, 3, 4) == 2
+
+    def test_logic_ops(self):
+        assert OpCode.AND.evaluate(0b1100, 0b1010) == 0b1000
+        assert OpCode.OR.evaluate(0b1100, 0b1010) == 0b1110
+        assert OpCode.XOR.evaluate(0b1100, 0b1010) == 0b0110
+        assert OpCode.NOT.evaluate(0) == -1
+
+    def test_shifts_mask_the_shift_amount(self):
+        assert OpCode.SHL.evaluate(1, 4) == 16
+        assert OpCode.SHL.evaluate(1, 33) == 2  # 33 & 31 == 1
+        assert OpCode.SHR.evaluate(16, 2) == 4
+
+    def test_min_max_abs(self):
+        assert OpCode.MIN.evaluate(-3, 4) == -3
+        assert OpCode.MAX.evaluate(-3, 4) == 4
+        assert OpCode.ABS.evaluate(-3) == 3
+
+    def test_32bit_wraparound_positive(self):
+        assert OpCode.ADD.evaluate(2**31 - 1, 1) == -(2**31)
+
+    def test_32bit_wraparound_multiplication(self):
+        result = OpCode.MUL.evaluate(2**20, 2**20)
+        assert -(2**31) <= result <= 2**31 - 1
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(ValueError):
+            OpCode.ADD.evaluate(1)
+        with pytest.raises(ValueError):
+            OpCode.SQR.evaluate(1, 2)
+
+    def test_structural_opcode_has_no_semantics(self):
+        with pytest.raises(ValueError):
+            OpCode.INPUT.evaluate()
+
+    def test_pass_is_identity(self):
+        assert OP_SEMANTICS[OpCode.PASS](42) == 42
+
+
+class TestParseOpcode:
+    def test_parse_by_value(self):
+        assert parse_opcode("add") is OpCode.ADD
+
+    def test_parse_by_name(self):
+        assert parse_opcode("MUL") is OpCode.MUL
+
+    def test_parse_strips_whitespace(self):
+        assert parse_opcode("  sub ") is OpCode.SUB
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            parse_opcode("divide")

@@ -1,0 +1,84 @@
+"""Tests for the linear overlay architecture description."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
+from repro.overlay.fu import V1, V2, V3
+
+
+class TestConstruction:
+    def test_for_kernel_matches_critical_path(self, gradient, qspline):
+        assert LinearOverlay.for_kernel(V1, gradient).depth == 4
+        assert LinearOverlay.for_kernel(V1, qspline).depth == 8
+
+    def test_fixed_uses_paper_default_depth(self):
+        overlay = LinearOverlay.fixed(V3)
+        assert overlay.depth == DEFAULT_FIXED_DEPTH == 8
+        assert overlay.fixed_depth
+
+    def test_fixed_depth_requires_write_back(self):
+        with pytest.raises(ConfigurationError):
+            LinearOverlay.fixed(V1, 8)
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            LinearOverlay(variant=V1, depth=0)
+
+    def test_fifo_depth_checked(self):
+        with pytest.raises(ConfigurationError):
+            LinearOverlay(variant=V1, depth=4, fifo_depth=1)
+
+    def test_default_name_includes_variant_and_depth(self):
+        assert LinearOverlay(variant=V1, depth=6).name == "V1x6"
+
+    def test_variant_accepts_string_names(self, gradient):
+        overlay = LinearOverlay.for_kernel("v2", gradient)
+        assert overlay.variant is V2
+
+
+class TestDerivedQuantities:
+    def test_dsp_count_scales_with_depth_and_lanes(self):
+        assert LinearOverlay(variant=V1, depth=8).total_dsp_blocks == 8
+        assert LinearOverlay(variant=V2, depth=8).total_dsp_blocks == 16
+
+    def test_instruction_capacity(self):
+        overlay = LinearOverlay(variant=V1, depth=4)
+        assert overlay.total_instruction_slots == 4 * V1.instruction_memory_depth
+
+    def test_stream_width(self):
+        assert LinearOverlay(variant=V2, depth=2).stream_width_bits == 64
+
+    def test_can_map_depth_rules(self):
+        v1_overlay = LinearOverlay(variant=V1, depth=8)
+        assert v1_overlay.can_map_depth(8)
+        assert not v1_overlay.can_map_depth(9)
+        v3_overlay = LinearOverlay.fixed(V3, 8)
+        assert v3_overlay.can_map_depth(13)
+
+    def test_requires_reconfiguration(self, gradient, poly7):
+        v1_overlay = LinearOverlay.for_kernel(V1, gradient)
+        assert not v1_overlay.requires_reconfiguration_for(gradient)
+        assert v1_overlay.requires_reconfiguration_for(poly7)
+        v3_overlay = LinearOverlay.fixed(V3, 8)
+        assert not v3_overlay.requires_reconfiguration_for(poly7)
+
+    def test_resized_copy(self):
+        overlay = LinearOverlay(variant=V1, depth=4)
+        bigger = overlay.resized(10)
+        assert bigger.depth == 10
+        assert overlay.depth == 4
+        assert bigger.name == "V1x10"
+
+    def test_describe_mentions_policy(self):
+        assert "fixed depth" in LinearOverlay.fixed(V3).describe()
+        assert "critical-path" in LinearOverlay(variant=V1, depth=4).describe()
+
+    def test_for_kernel_rejects_empty_kernels(self):
+        from repro.dfg.builder import DFGBuilder
+
+        builder = DFGBuilder("empty")
+        x = builder.input("x")
+        builder.output(x)
+        with pytest.raises(ConfigurationError):
+            LinearOverlay.for_kernel(V1, builder.build(validate=False))

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) over randomly generated kernels.
+
+The hand-written benchmark kernels only exercise a handful of DFG shapes, so
+these tests generate random straight-line kernels and check the invariants the
+tool flow must uphold for *any* legal kernel:
+
+* schedulers respect data dependences and the IWP spacing;
+* the analytic II equals the simulator's steady-state measurement;
+* the generated instruction streams round-trip through the binary encoding;
+* the simulated overlay computes exactly what the reference model computes,
+  on every FU variant.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dfg.analysis import asap_stage_assignment, dfg_depth, stage_traffic
+from repro.dfg.transforms import optimize
+from repro.dfg.validate import collect_validation_errors
+from repro.kernels.generators import random_dfg
+from repro.kernels.reference import evaluate_dfg, random_input_blocks
+from repro.overlay.architecture import LinearOverlay
+from repro.overlay.fu import FU_VARIANTS, V1, V3
+from repro.overlay.isa import decode_instruction, encode_instruction
+from repro.program.codegen import generate_program
+from repro.schedule import analytic_ii, schedule_kernel
+from repro.schedule.ordering import verify_ordering
+from repro.schedule.types import SlotKind
+from repro.sim.overlay import simulate_schedule
+
+#: Strategy for seeded random kernels that stay small enough to simulate fast.
+kernel_strategy = st.builds(
+    random_dfg,
+    num_inputs=st.integers(min_value=1, max_value=5),
+    num_operations=st.integers(min_value=3, max_value=28),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestDFGInvariants:
+    @given(dfg=kernel_strategy)
+    @settings(**_SETTINGS)
+    def test_random_kernels_are_structurally_sound(self, dfg):
+        errors = [
+            e
+            for e in collect_validation_errors(dfg, require_live=False)
+            if "unused" not in e
+        ]
+        assert errors == []
+
+    @given(dfg=kernel_strategy)
+    @settings(**_SETTINGS)
+    def test_optimizer_preserves_semantics(self, dfg):
+        optimized = optimize(dfg)
+        block = [7 * (i + 1) for i in range(dfg.num_inputs)]
+        assert evaluate_dfg(optimized, block) == evaluate_dfg(dfg, block)
+
+    @given(dfg=kernel_strategy)
+    @settings(**_SETTINGS)
+    def test_stage_traffic_is_conservative(self, dfg):
+        assignment = asap_stage_assignment(dfg)
+        traffic = stage_traffic(dfg, assignment)
+        # Every stage's loads equal the previous stage's emissions.
+        for previous, current in zip(traffic, traffic[1:]):
+            assert set(previous.emits) == set(current.loads)
+        # The final stage emits every output-feeding value.
+        outputs = {o.operands[0] for o in dfg.outputs()}
+        assert outputs <= set(traffic[-1].emits) | {
+            v for t in traffic for v in t.computes
+        }
+
+
+class TestSchedulingInvariants:
+    @given(dfg=kernel_strategy)
+    @settings(**_SETTINGS)
+    def test_asap_schedule_covers_all_ops_without_nops(self, dfg):
+        schedule = schedule_kernel(dfg, LinearOverlay.for_kernel(V1, dfg))
+        computed = [
+            s.value_id
+            for stage in schedule.stages
+            for s in stage.slots
+            if s.kind is SlotKind.COMPUTE
+        ]
+        assert sorted(computed) == sorted(n.node_id for n in dfg.operations())
+        assert schedule.total_nops == 0
+
+    @given(dfg=kernel_strategy, depth=st.integers(min_value=2, max_value=6))
+    @settings(**_SETTINGS)
+    def test_fixed_depth_schedule_respects_precedence_and_iwp(self, dfg, depth):
+        overlay = LinearOverlay.fixed(V3, depth)
+        schedule = schedule_kernel(dfg, overlay)
+        assignment = schedule.assignment
+        for node in dfg.operations():
+            for operand in node.operands:
+                if operand in assignment:
+                    assert assignment[operand] <= assignment[node.node_id]
+        for stage in schedule.stages:
+            assert verify_ordering(dfg, stage.slots, V3.iwp) == []
+
+    @given(dfg=kernel_strategy)
+    @settings(**_SETTINGS)
+    def test_encoded_programs_roundtrip(self, dfg):
+        schedule = schedule_kernel(dfg, LinearOverlay.for_kernel(V1, dfg))
+        program = generate_program(schedule)
+        for fu_program in program.fu_programs:
+            for word, instruction in zip(
+                fu_program.encoded_words(), fu_program.instructions
+            ):
+                assert decode_instruction(word) == instruction
+
+
+class TestSimulationInvariants:
+    @given(
+        dfg=kernel_strategy,
+        variant_name=st.sampled_from(["baseline", "v1", "v2"]),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_simulation_matches_reference_on_asap_overlays(self, dfg, variant_name):
+        variant = FU_VARIANTS[variant_name]
+        schedule = schedule_kernel(dfg, LinearOverlay.for_kernel(variant, dfg))
+        result = simulate_schedule(schedule, num_blocks=5, seed=3)
+        assert result.matches_reference
+        assert result.measured_ii == pytest.approx(analytic_ii(schedule), abs=0.01)
+
+    @given(dfg=kernel_strategy, depth=st.integers(min_value=3, max_value=8))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_simulation_matches_reference_on_fixed_depth_overlays(self, dfg, depth):
+        schedule = schedule_kernel(dfg, LinearOverlay.fixed(V3, depth))
+        result = simulate_schedule(schedule, num_blocks=4, seed=5)
+        assert result.matches_reference
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_input_block_generator_respects_kernel_shape(self, seed):
+        dfg = random_dfg(3, 10, seed=seed)
+        blocks = random_input_blocks(dfg, 4, seed=seed)
+        assert all(len(b) == dfg.num_inputs for b in blocks)

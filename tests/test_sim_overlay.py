@@ -1,0 +1,144 @@
+"""End-to-end tests for the cycle-accurate overlay simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernels import BENCHMARK_NAMES, get_kernel
+from repro.kernels.reference import evaluate_dfg, random_input_blocks
+from repro.overlay.architecture import LinearOverlay
+from repro.overlay.fu import BASELINE, V1, V2, V3, V4, V5
+from repro.schedule import analytic_ii, schedule_kernel
+from repro.sim.overlay import OverlaySimulator, simulate_schedule
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("name", list(BENCHMARK_NAMES))
+    @pytest.mark.parametrize("variant", [BASELINE, V1, V2])
+    def test_critical_path_overlays_match_reference(self, name, variant):
+        dfg = get_kernel(name)
+        schedule = schedule_kernel(dfg, LinearOverlay.for_kernel(variant, dfg))
+        result = simulate_schedule(schedule, num_blocks=8, seed=1)
+        assert result.matches_reference
+
+    @pytest.mark.parametrize("name", list(BENCHMARK_NAMES))
+    @pytest.mark.parametrize("variant", [V3, V4, V5])
+    def test_fixed_depth_overlays_match_reference(self, name, variant):
+        dfg = get_kernel(name)
+        schedule = schedule_kernel(dfg, LinearOverlay.fixed(variant, 8))
+        result = simulate_schedule(schedule, num_blocks=8, seed=2)
+        assert result.matches_reference
+
+    def test_specific_values_on_the_gradient_example(self, gradient):
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        blocks = [[1, 2, 3, 4, 5], [0, 0, 0, 0, 0], [10, -10, 3, 7, -7]]
+        result = OverlaySimulator(schedule).run(blocks)
+        assert result.outputs == [evaluate_dfg(gradient, b) for b in blocks]
+
+    def test_single_block_works(self, gradient):
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        result = OverlaySimulator(schedule).run([[5, 4, 3, 2, 1]])
+        assert result.outputs == [evaluate_dfg(gradient, [5, 4, 3, 2, 1])]
+
+    def test_wrong_block_width_rejected(self, gradient):
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        with pytest.raises(SimulationError):
+            OverlaySimulator(schedule).run([[1, 2, 3]])
+
+    def test_empty_input_rejected(self, gradient):
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        with pytest.raises(SimulationError):
+            OverlaySimulator(schedule).run([])
+
+
+class TestTimingMeasurement:
+    @pytest.mark.parametrize("name", ["gradient", "chebyshev", "mibench", "qspline", "poly6"])
+    @pytest.mark.parametrize("variant", [BASELINE, V1, V2])
+    def test_measured_ii_equals_analytic_ii(self, name, variant):
+        dfg = get_kernel(name)
+        schedule = schedule_kernel(dfg, LinearOverlay.for_kernel(variant, dfg))
+        result = simulate_schedule(schedule, num_blocks=16, seed=0)
+        assert result.measured_ii == pytest.approx(analytic_ii(schedule), abs=0.01)
+
+    @pytest.mark.parametrize("name", ["sgfilter", "poly5", "poly7", "poly8"])
+    @pytest.mark.parametrize("variant", [V3, V4])
+    def test_measured_ii_matches_fixed_depth_model(self, name, variant):
+        dfg = get_kernel(name)
+        schedule = schedule_kernel(dfg, LinearOverlay.fixed(variant, 8))
+        result = simulate_schedule(schedule, num_blocks=16, seed=0)
+        assert result.measured_ii == pytest.approx(analytic_ii(schedule), abs=0.01)
+
+    def test_v2_halves_ii_but_not_latency(self, qspline):
+        v1 = simulate_schedule(
+            schedule_kernel(qspline, LinearOverlay.for_kernel(V1, qspline)), num_blocks=16
+        )
+        v2 = simulate_schedule(
+            schedule_kernel(qspline, LinearOverlay.for_kernel(V2, qspline)), num_blocks=16
+        )
+        assert v2.measured_ii == pytest.approx(v1.measured_ii / 2, abs=0.1)
+        assert v2.latency_cycles == pytest.approx(v1.latency_cycles, rel=0.15)
+
+    def test_fixed_depth_reduces_latency_for_deep_kernels(self, poly7):
+        """The paper's latency model (II x depth) favours the fixed-depth
+        overlay for deep kernels; the measured first-block latency must at
+        least not get worse despite the NOP padding."""
+        from repro.metrics.performance import analytic_latency_cycles
+
+        v1_schedule = schedule_kernel(poly7, LinearOverlay.for_kernel(V1, poly7))
+        v3_schedule = schedule_kernel(poly7, LinearOverlay.fixed(V3, 8))
+        assert analytic_latency_cycles(v3_schedule) < analytic_latency_cycles(v1_schedule)
+        v1 = simulate_schedule(v1_schedule, num_blocks=12)
+        v3 = simulate_schedule(v3_schedule, num_blocks=12)
+        assert v3.latency_cycles <= v1.latency_cycles * 1.05
+
+    def test_completion_cycles_are_monotonic(self, gradient):
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        result = simulate_schedule(schedule, num_blocks=10)
+        assert all(
+            later > earlier
+            for earlier, later in zip(result.completion_cycles, result.completion_cycles[1:])
+        )
+
+    def test_no_exec_stalls_in_steady_state_bottleneck_stage(self, gradient):
+        """The bottleneck FU should issue back-to-back once the pipe is full."""
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        result = simulate_schedule(schedule, num_blocks=20)
+        bottleneck_stats = result.fu_stats[0]
+        issue_slots = bottleneck_stats.instructions_issued
+        # Stalls only accumulate during pipeline fill, not per block.
+        assert bottleneck_stats.exec_stall_cycles < result.total_cycles - issue_slots + 20
+
+
+class TestStructuralChecks:
+    def test_register_file_capacity_is_respected(self, benchmarks):
+        for name, dfg in benchmarks.items():
+            schedule = schedule_kernel(dfg, LinearOverlay.for_kernel(V1, dfg))
+            result = simulate_schedule(schedule, num_blocks=6)
+            assert max(result.rf_high_water) <= V1.rf_depth, name
+
+    def test_fifo_occupancy_stays_bounded(self, qspline):
+        schedule = schedule_kernel(qspline, LinearOverlay.for_kernel(V1, qspline))
+        result = simulate_schedule(schedule, num_blocks=24)
+        # Index 0 is the (unbounded) DMA-fed input stream and the last entry
+        # the output collector; the inter-FU channels in between must respect
+        # the configured FIFO depth.
+        inter_stage = result.fifo_high_water[1:-1]
+        assert inter_stage and max(inter_stage) <= schedule.overlay.fifo_depth
+
+    def test_trace_recording_produces_events(self, gradient):
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        result = simulate_schedule(schedule, num_blocks=4, record_trace=True)
+        assert result.trace is not None
+        assert result.trace.events
+        kinds = {event.kind for event in result.trace.events}
+        assert kinds == {"load", "exec"}
+
+    def test_summary_mentions_verification(self, gradient):
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        result = simulate_schedule(schedule, num_blocks=4)
+        assert "OK" in result.summary()
+
+    def test_deadlock_guard_raises_instead_of_hanging(self, gradient):
+        schedule = schedule_kernel(gradient, LinearOverlay.for_kernel(V1, gradient))
+        simulator = OverlaySimulator(schedule, max_cycles=3)
+        with pytest.raises(SimulationError):
+            simulator.run(random_input_blocks(gradient, 4))
