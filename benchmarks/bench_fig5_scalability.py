@@ -9,6 +9,7 @@ the paper states explicitly (654 slices / 8 DSPs for the depth-8 V1 overlay,
 
 import pytest
 
+from repro.engine.sweep import build_grid, run_sweep
 from repro.metrics.tables import render_fig5_series
 from repro.overlay.resources import (
     estimate_resources,
@@ -52,3 +53,33 @@ def test_fig5_overlay_scalability(benchmark, save_result):
         fmax = [overlay_fmax_mhz(label, d) for d in range(2, 17, 2)]
         assert all(a >= b for a, b in zip(fmax, fmax[1:]))
         assert all(260 <= f <= 340 for f in fmax)
+
+
+def test_fig5_simulated_scalability_sweep(benchmark, save_result):
+    """Simulation-backed companion to Fig. 5: the library's critical-path
+    depths span 4..13 FUs, so sweeping every kernel on V1/V2 through the
+    parallel sweep runner measures how II and latency scale with the
+    cascade depth (and cross-checks the analytic II at every point)."""
+    grid = build_grid(variants=("v1", "v2"), num_blocks=64)
+    results = benchmark.pedantic(
+        run_sweep, args=(grid,), kwargs={"jobs": 1}, rounds=1, iterations=1
+    )
+
+    lines = [f"{'overlay':8s} {'depth':>5s} {'meas II':>8s} {'latency cyc':>12s}"]
+    for result in sorted(results, key=lambda r: (r.variant, r.overlay_depth)):
+        lines.append(
+            f"{result.overlay_name:8s} {result.overlay_depth:5d} "
+            f"{result.measured_ii:8.2f} {result.latency_cycles:12d}"
+        )
+    save_result("fig5_simulated_scalability", "\n".join(lines))
+
+    for result in results:
+        assert result.matches_reference
+        assert result.measured_ii == pytest.approx(result.analytic_ii, abs=0.01)
+    # Deeper cascades cost latency: within a variant, the deepest kernel's
+    # first-block latency exceeds the shallowest kernel's.
+    for variant in ("v1", "v2"):
+        points = [r for r in results if r.variant == variant]
+        shallow = min(points, key=lambda r: r.overlay_depth)
+        deep = max(points, key=lambda r: r.overlay_depth)
+        assert deep.latency_cycles > shallow.latency_cycles

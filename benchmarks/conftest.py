@@ -4,13 +4,22 @@ Every harness regenerates one table or figure of the paper.  Besides being
 timed with pytest-benchmark, each harness writes the reproduced rows/series to
 ``benchmarks/results/<name>.txt`` so the artefacts survive output capturing
 and can be diffed against EXPERIMENTS.md.
+
+The session also emits machine-readable wall-clock timings to
+``benchmarks/results/BENCH_results.json`` (bench name -> seconds for the call
+phase of every ``bench_*`` test), so the performance trajectory across PRs is
+diffable without parsing pytest-benchmark's console output.
 """
 
+import json
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_TIMINGS_PATH = os.path.join(RESULTS_DIR, "BENCH_results.json")
+
+_timings = {}
 
 
 @pytest.fixture(scope="session")
@@ -31,3 +40,37 @@ def save_result(results_dir):
         return path
 
     return _save
+
+
+def _is_bench_nodeid(nodeid: str) -> bool:
+    filename = os.path.basename(nodeid.split("::", 1)[0])
+    return filename.startswith("bench_")
+
+
+def pytest_runtest_logreport(report):
+    """Collect call-phase durations of every benchmark test."""
+    if report.when == "call" and _is_bench_nodeid(report.nodeid):
+        name = report.nodeid.split("::", 1)[-1]
+        _timings[name] = round(report.duration, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the collected timings as a diffable JSON artefact.
+
+    Timings merge into the existing file, so running a single bench updates
+    its entry without discarding the rest of the record.
+    """
+    if not _timings:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    merged = {}
+    if os.path.exists(BENCH_TIMINGS_PATH):
+        try:
+            with open(BENCH_TIMINGS_PATH, "r", encoding="utf-8") as handle:
+                merged = json.load(handle)
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(_timings)
+    with open(BENCH_TIMINGS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(dict(sorted(merged.items())), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -36,6 +36,16 @@ from typing import Optional, Sequence, Union
 __version__ = "1.0.0"
 
 from .dfg import DFG, DFGBuilder, OpCode
+from .engine import (
+    FastSimulator,
+    ScheduleCache,
+    SweepPoint,
+    SweepResult,
+    build_grid,
+    default_cache,
+    run_sweep,
+    simulate_fast,
+)
 from .errors import ReproError
 from .frontend import parse_c_kernel, trace_kernel
 from .kernels import all_benchmarks, get_kernel, kernel_names
@@ -86,6 +96,7 @@ def map_kernel(
     depth: Optional[int] = None,
     simulate: bool = False,
     num_blocks: int = 12,
+    engine: str = "cycle",
 ) -> MappingResult:
     """Run the full tool flow for one kernel on one overlay variant.
 
@@ -102,8 +113,15 @@ def map_kernel(
         paper's fixed depth of 8 and the other variants match the kernel's
         critical path.
     simulate:
-        Also run the cycle-accurate simulator (verifies functional
-        correctness and measures II / latency).
+        Also run the simulator (verifies functional correctness and measures
+        II / latency).
+    engine:
+        Simulation engine for ``simulate=True``: ``"cycle"`` (the
+        cycle-accurate reference) or ``"fast"`` (the event-driven engine of
+        :mod:`repro.engine.fastsim`, identical results).
+
+    Compilation goes through the process-wide compiled-schedule cache, so
+    mapping the same kernel/overlay pair repeatedly is effectively free.
     """
     dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
     fu = get_variant(variant)
@@ -116,9 +134,8 @@ def map_kernel(
     else:
         overlay = LinearOverlay.for_kernel(fu, dfg)
 
-    schedule = schedule_kernel(dfg, overlay)
-    program = generate_program(schedule)
-    configuration = build_configuration_image(schedule, program)
+    compiled = default_cache().get_or_compile(dfg, overlay)
+    schedule = compiled.schedule
     performance = evaluate_kernel(
         dfg,
         fu,
@@ -127,7 +144,7 @@ def map_kernel(
     )
     simulation: Optional[SimulationResult] = None
     if simulate:
-        simulation = simulate_schedule(schedule, num_blocks=num_blocks)
+        simulation = simulate_schedule(schedule, num_blocks=num_blocks, engine=engine)
         performance.measured_ii = simulation.measured_ii
         performance.latency_cycles = float(simulation.latency_cycles)
         performance.reference_match = simulation.matches_reference
@@ -137,8 +154,8 @@ def map_kernel(
         dfg=dfg,
         overlay=overlay,
         schedule=schedule,
-        program=program,
-        configuration=configuration,
+        program=compiled.program,
+        configuration=compiled.configuration,
         performance=performance,
         simulation=simulation,
     )
@@ -171,4 +188,12 @@ __all__ = [
     "evaluate_kernel",
     "MappingResult",
     "map_kernel",
+    "FastSimulator",
+    "simulate_fast",
+    "ScheduleCache",
+    "default_cache",
+    "SweepPoint",
+    "SweepResult",
+    "build_grid",
+    "run_sweep",
 ]

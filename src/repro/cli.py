@@ -6,6 +6,7 @@
     repro-overlay variants                        # list FU variants (Table I)
     repro-overlay map --kernel gradient --variant v1
     repro-overlay simulate --kernel qspline --variant v3 --depth 8 --blocks 16
+    repro-overlay sweep --kernels all --variants v1,v2 --blocks 64 --json
     repro-overlay table3                          # regenerate Table III
     repro-overlay scalability --variant v1        # Fig. 5 data series
     repro-overlay dot --kernel qspline            # DFG in Graphviz DOT
@@ -86,7 +87,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     overlay = _build_overlay(args, dfg)
     schedule = schedule_kernel(dfg, overlay)
     result = simulate_schedule(
-        schedule, num_blocks=args.blocks, seed=args.seed, record_trace=args.trace
+        schedule,
+        num_blocks=args.blocks,
+        seed=args.seed,
+        record_trace=args.trace,
+        engine=args.engine,
     )
     print(result.summary())
     print(f"analytic II: {analytic_ii(schedule)}, measured II: {result.measured_ii:.2f}")
@@ -119,6 +124,50 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         measured[name] = {label: result.ii for label, result in results.items()}
     print(render_table3(measured))
     return 0
+
+
+def _parse_name_list(text: str, universe: List[str], what: str) -> List[str]:
+    if text.strip().lower() in ("all", "*"):
+        return list(universe)
+    names = [item.strip() for item in text.split(",") if item.strip()]
+    unknown = [name for name in names if name not in universe]
+    if unknown:
+        raise ReproError(
+            f"unknown {what} {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(universe)}"
+        )
+    return names
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .engine.sweep import build_grid, render_sweep_table, results_to_json, run_sweep
+
+    kernels = _parse_name_list(args.kernels, kernel_names(), "kernel")
+    variants = _parse_name_list(args.variants, list(FU_VARIANTS), "variant")
+    depths = None
+    if args.depths:
+        try:
+            depths = [int(d) for d in args.depths.split(",")]
+        except ValueError:
+            raise ReproError(
+                f"--depths must be a comma-separated list of integers, got {args.depths!r}"
+            )
+    grid = build_grid(
+        kernels=kernels,
+        variants=variants,
+        depths=depths,
+        num_blocks=args.blocks,
+        seed=args.seed,
+        engine=args.engine,
+        verify=not args.no_verify,
+    )
+    results = run_sweep(grid, jobs=args.jobs)
+    if args.json:
+        print(results_to_json(results))
+    else:
+        print(render_sweep_table(results))
+    failures = [r for r in results if r.matches_reference is False]
+    return 1 if failures else 0
 
 
 def _cmd_scalability(args: argparse.Namespace) -> int:
@@ -166,7 +215,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--trace", action="store_true", help="print a Table II style trace")
     p_sim.add_argument("--trace-cycles", type=int, default=32)
+    p_sim.add_argument(
+        "--engine",
+        default="cycle",
+        choices=("cycle", "fast"),
+        help="simulation core: cycle-accurate reference or the fast event-driven engine",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="compile+simulate a kernels x variants grid (parallel)"
+    )
+    p_sweep.add_argument(
+        "--kernels", default="all", help="comma-separated kernel names, or 'all'"
+    )
+    p_sweep.add_argument(
+        "--variants", default="v1,v2", help="comma-separated FU variants, or 'all'"
+    )
+    p_sweep.add_argument(
+        "--depths",
+        default="",
+        help="comma-separated overlay depths (empty = auto per kernel/variant)",
+    )
+    p_sweep.add_argument("--blocks", type=int, default=12)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--engine", default="fast", choices=("cycle", "fast"))
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: CPU count)"
+    )
+    p_sweep.add_argument(
+        "--no-verify", action="store_true", help="skip golden-reference verification"
+    )
+    p_sweep.add_argument("--json", action="store_true", help="emit JSON rows")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_eval = sub.add_parser("evaluate", help="evaluate a kernel on every overlay variant")
     p_eval.add_argument("--kernel", required=True, choices=kernel_names())

@@ -1,0 +1,38 @@
+"""Fast execution engine: event-driven simulation, compile caching, sweeps.
+
+The :mod:`repro.sim` package is the *golden reference*: it models every FU
+cycle by cycle at the value level and is what all correctness claims rest on.
+This package makes the same measurements fast enough for production-scale
+sweeps:
+
+* :mod:`repro.engine.fastsim` — an event-driven timing simulator that skips
+  the per-value bookkeeping, fast-forwards through the periodic steady state
+  analytically, and reconstructs the output stream from the functional DFG
+  evaluation.  It produces bit-identical :class:`~repro.sim.overlay.SimulationResult`
+  contents (outputs, completion cycles, II, latency, stats, high-water marks).
+* :mod:`repro.engine.cache` — a compiled-schedule cache keyed on the DFG
+  content hash and the overlay configuration, so repeated ``register`` /
+  sweep calls never re-run scheduling, register allocation or codegen.
+* :mod:`repro.engine.sweep` — a (kernels x overlays x variants) grid runner
+  that fans points out over a process pool and powers the ``repro-overlay
+  sweep`` CLI subcommand and the benchmark harnesses.
+"""
+
+from .cache import CacheKey, CompiledKernel, ScheduleCache, default_cache, dfg_content_hash
+from .fastsim import FastSimulator, simulate_fast
+from .sweep import SweepPoint, SweepResult, build_grid, run_point, run_sweep
+
+__all__ = [
+    "CacheKey",
+    "CompiledKernel",
+    "ScheduleCache",
+    "default_cache",
+    "dfg_content_hash",
+    "FastSimulator",
+    "simulate_fast",
+    "SweepPoint",
+    "SweepResult",
+    "build_grid",
+    "run_point",
+    "run_sweep",
+]

@@ -1,0 +1,217 @@
+"""Compiled-schedule cache: compile once, run many.
+
+The mapping flow (scheduling, register allocation, instruction generation,
+configuration-image assembly) is deterministic in its inputs: the kernel DFG
+and the overlay configuration.  Sweeps and multi-kernel runtimes repeat the
+same (kernel, overlay) pairs constantly — Fig. 5/6/Table III regenerate the
+same nine kernels on the same five variants over and over — so this module
+memoises the compiled artifacts:
+
+* the **key** is ``(kernel name, DFG content hash, FU variant, depth,
+  fixed-depth flag, FIFO depth)``.  The DFG hash covers the full node list
+  (ids, opcodes, operands, names, constant values) via the canonical JSON
+  serialization, so two structurally identical DFG copies hit the same entry
+  while any edit — even to a constant — misses;
+* the **value** is a :class:`CompiledKernel` bundling the schedule, the FU
+  programs and the configuration image, exactly what
+  :meth:`repro.runtime.manager.OverlayRuntime.register` produces;
+* storage is a bounded in-memory **LRU** with an optional on-disk pickle
+  layer (``disk_dir=...`` or the ``REPRO_CACHE_DIR`` environment variable)
+  so the worker processes of a parallel sweep can share compilations across
+  runs.  Disk writes are atomic (temp file + rename).
+
+Compiled artifacts are treated as immutable by every consumer (simulator,
+codegen listings, context-switch accounting), which is what makes sharing a
+single instance across runtimes and sweep points safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dfg.graph import DFG
+from ..dfg.serialize import to_dict
+from ..overlay.architecture import LinearOverlay
+from ..program.binary import ConfigurationImage, build_configuration_image
+from ..program.codegen import OverlayProgram, generate_program
+from ..schedule import schedule_kernel
+from ..schedule.types import OverlaySchedule
+
+
+def dfg_content_hash(dfg: DFG) -> str:
+    """Stable content hash of a DFG (independent of object identity)."""
+    canonical = json.dumps(to_dict(dfg), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything the mapping flow's output depends on."""
+
+    kernel_name: str
+    dfg_hash: str
+    variant_name: str
+    depth: int
+    fixed_depth: bool
+    fifo_depth: int
+
+    @classmethod
+    def for_mapping(cls, dfg: DFG, overlay: LinearOverlay) -> "CacheKey":
+        return cls(
+            kernel_name=dfg.name,
+            dfg_hash=dfg_content_hash(dfg),
+            variant_name=overlay.variant.name,
+            depth=overlay.depth,
+            fixed_depth=overlay.fixed_depth,
+            fifo_depth=overlay.fifo_depth,
+        )
+
+    def filename(self) -> str:
+        """Stable on-disk name for the pickle layer."""
+        digest = hashlib.sha256(
+            f"{self.kernel_name}|{self.dfg_hash}|{self.variant_name}|"
+            f"{self.depth}|{self.fixed_depth}|{self.fifo_depth}".encode("utf-8")
+        ).hexdigest()[:32]
+        return f"{self.kernel_name}-{self.variant_name}-{digest}.pkl"
+
+
+@dataclass
+class CompiledKernel:
+    """The full output of the ahead-of-time mapping flow for one kernel."""
+
+    schedule: OverlaySchedule
+    program: OverlayProgram
+    configuration: ConfigurationImage
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return (self.hits + self.disk_hits) / lookups if lookups else 0.0
+
+
+class ScheduleCache:
+    """LRU cache of compiled kernels with an optional pickle disk layer."""
+
+    def __init__(self, capacity: int = 128, disk_dir: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.disk_dir = disk_dir if disk_dir is not None else os.environ.get("REPRO_CACHE_DIR")
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, CompiledKernel]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def get_or_compile(self, dfg: DFG, overlay: LinearOverlay) -> CompiledKernel:
+        """Return the compiled artifacts, running the mapping flow on a miss."""
+        key = CacheKey.for_mapping(dfg, overlay)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached
+        from_disk = self._load_from_disk(key)
+        if from_disk is not None:
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._store(key, from_disk)
+            return from_disk
+
+        schedule = schedule_kernel(dfg, overlay)
+        program = generate_program(schedule)
+        configuration = build_configuration_image(schedule, program)
+        compiled = CompiledKernel(
+            schedule=schedule, program=program, configuration=configuration
+        )
+        with self._lock:
+            self.stats.misses += 1
+            self._store(key, compiled)
+        self._save_to_disk(key, compiled)
+        return compiled
+
+    # ------------------------------------------------------------------
+    def _store(self, key: CacheKey, compiled: CompiledKernel) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: CacheKey) -> Optional[str]:
+        if not self.disk_dir:
+            return None
+        return os.path.join(self.disk_dir, key.filename())
+
+    def _load_from_disk(self, key: CacheKey) -> Optional[CompiledKernel]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                compiled = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        return compiled if isinstance(compiled, CompiledKernel) else None
+
+    def _save_to_disk(self, key: CacheKey, compiled: CompiledKernel) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(compiled, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, path)
+            except BaseException:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+                raise
+        except OSError:
+            # The disk layer is best-effort: a read-only or full filesystem
+            # must never break compilation itself.
+            return
+
+
+_DEFAULT_CACHE: Optional[ScheduleCache] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_cache() -> ScheduleCache:
+    """The process-wide cache shared by runtimes, sweeps and benchmarks."""
+    global _DEFAULT_CACHE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = ScheduleCache()
+        return _DEFAULT_CACHE

@@ -1,0 +1,745 @@
+"""Event-driven fast simulation engine.
+
+:class:`~repro.sim.overlay.OverlaySimulator` executes every FU at the value
+level, one cycle at a time, which makes large sweeps O(total cycles x depth)
+with per-token dictionary churn.  This module reproduces *exactly* the same
+measurements an order of magnitude faster, exploiting two observations:
+
+1. **Timing is value-independent.**  Nothing in the FU control logic — load
+   ordering, operand-ready checks, FIFO backpressure, block gaps — depends on
+   the *numeric* value of a token, only on which ``(block, value id)`` pairs
+   are where.  The engine therefore simulates tokens as bare identifiers and
+   reconstructs the output stream functionally from the DFG (applying the
+   same 32-bit wrap the datapath applies to values that transit PASS slots),
+   so the produced ``outputs`` are bit-identical to the cycle simulator's.
+
+2. **The pipeline reaches a periodic steady state.**  Once the cascade is
+   full, the machine state repeats every initiation interval, shifted by a
+   constant number of cycles and data blocks.  The engine fingerprints the
+   full control state (relative to the current cycle and completed-block
+   count) each time a block completes; when a fingerprint recurs the run is
+   provably periodic, and the engine analytically fast-forwards N whole
+   periods — relabelling in-flight state, extrapolating completion times and
+   adding N x the per-period statistics deltas — then finishes the drain
+   cycle-accurately.  Stat counters, FIFO/RF high-water marks and completion
+   cycles all match the cycle simulator exactly (see ``docs/engine.md`` for
+   the correctness argument).
+
+Events that need sub-cycle ordering (ALU results whose pipeline latency
+elapsed, internal write-backs reaching the register file) are kept in
+per-FU ready queues that are drained in issue order, mirroring the delivery
+phase of the cycle simulator; everything else advances in the same
+upstream-to-downstream cycle-synchronous order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SimulationError
+from ..kernels.reference import BlockEvaluator
+from ..schedule.types import OverlaySchedule, SlotKind
+from ..sim.alu import _wrap
+from ..sim.fu import FUStats
+from ..sim.overlay import (
+    SimulationResult,
+    _steady_state_ii,
+    merge_lane_results,
+    split_lane_blocks,
+)
+
+#: Counter attribute names, in :class:`FUStats` field order.
+_STAT_FIELDS = (
+    "loads_issued",
+    "instructions_issued",
+    "nops_issued",
+    "exec_stall_cycles",
+    "load_stall_cycles",
+    "backpressure_stall_cycles",
+)
+
+#: Sentinel for block pointers that are pinned at ``num_blocks`` from cycle 0
+#: (stages with no loads / no slots) and must not be relabelled by the
+#: steady-state shift.
+_PINNED = -(10 ** 9)
+
+
+class _FastRF:
+    """Value-free register-file occupancy model.
+
+    Mirrors :class:`repro.sim.rf.RegisterFileModel` exactly — same residency
+    rules, same drop-writes-with-no-readers behaviour, same high-water
+    accounting (updated on writes only) — but stores only remaining read
+    counts, never values.
+    """
+
+    __slots__ = (
+        "name",
+        "physical_depth",
+        "frame_capacity",
+        "reads_left",
+        "const_ids",
+        "num_constants",
+        "block_counts",
+        "high_water",
+        "per_block_high_water",
+    )
+
+    def __init__(self, name: str, physical_depth: int, frame_capacity: int, const_ids: Set[int]):
+        self.name = name
+        self.physical_depth = physical_depth
+        self.frame_capacity = frame_capacity
+        self.reads_left: Dict[Tuple[int, int], int] = {}
+        self.const_ids = const_ids
+        self.num_constants = len(const_ids)
+        self.block_counts: Dict[int, int] = {}
+        self.high_water = 0
+        self.per_block_high_water = 0
+
+    def write(self, block: int, value_id: int, reads: int) -> None:
+        if reads <= 0:
+            return
+        key = (block, value_id)
+        if key not in self.reads_left:
+            self.block_counts[block] = self.block_counts.get(block, 0) + 1
+        self.reads_left[key] = reads
+        live = len(self.reads_left) + self.num_constants
+        if live > self.high_water:
+            self.high_water = live
+        candidate = self.block_counts[block] + self.num_constants
+        if candidate > self.per_block_high_water:
+            self.per_block_high_water = candidate
+
+    def has(self, block: int, value_id: int) -> bool:
+        return (block, value_id) in self.reads_left or value_id in self.const_ids
+
+    def consume(self, block: int, value_id: int) -> None:
+        key = (block, value_id)
+        if key not in self.reads_left:
+            if value_id in self.const_ids:
+                return
+            raise SimulationError(
+                f"register file {self.name!r}: value N{value_id} of block {block} "
+                "is not resident"
+            )
+        remaining = self.reads_left[key] - 1
+        if remaining <= 0:
+            del self.reads_left[key]
+            count = self.block_counts[block] - 1
+            if count:
+                self.block_counts[block] = count
+            else:
+                del self.block_counts[block]
+        else:
+            self.reads_left[key] = remaining
+
+    def check_capacity(self) -> None:
+        if (
+            self.high_water > self.physical_depth
+            or self.per_block_high_water > self.frame_capacity
+        ):
+            raise SimulationError(
+                f"register file {self.name!r} overflows: peak {self.high_water} "
+                f"entries (physical {self.physical_depth}), per-block peak "
+                f"{self.per_block_high_water} (frame {self.frame_capacity})"
+            )
+
+    def shift(self, delta_blocks: int) -> None:
+        self.reads_left = {
+            (block + delta_blocks, vid): n for (block, vid), n in self.reads_left.items()
+        }
+        self.block_counts = {
+            block + delta_blocks: n for block, n in self.block_counts.items()
+        }
+
+
+class _FastChannel:
+    """Bounded inter-stage FIFO holding ``(block, value id)`` tokens."""
+
+    __slots__ = ("name", "capacity", "queue", "high_water")
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.capacity = capacity
+        self.queue: Deque[Tuple[int, int]] = deque()
+        self.high_water = 0
+
+    def push(self, token: Tuple[int, int]) -> None:
+        if self.capacity > 0 and len(self.queue) >= self.capacity:
+            raise SimulationError(
+                f"FIFO {self.name!r} overflow (capacity {self.capacity}); "
+                "the producer should have been back-pressured"
+            )
+        self.queue.append(token)
+        if len(self.queue) > self.high_water:
+            self.high_water = len(self.queue)
+
+    def shift(self, delta_blocks: int) -> None:
+        self.queue = deque((block + delta_blocks, vid) for block, vid in self.queue)
+
+
+class _FastFU:
+    """Timing-only mirror of :class:`repro.sim.fu.FUSimulator`.
+
+    Stage 0 has no explicit input queue: its input stream is a virtual
+    source (``load_block``/``load_index`` fully determine the next token and
+    the DMA-fed input FIFO of the cycle simulator is never empty), which is
+    what makes the steady-state fingerprint O(in-flight state) instead of
+    O(num_blocks).
+    """
+
+    __slots__ = (
+        "stage_index",
+        "num_blocks",
+        "load_order",
+        "slots",
+        "read_counts",
+        "rf",
+        "in_channel",
+        "out_channel",
+        "overlap",
+        "lookahead",
+        "alu_depth",
+        "wb_latency",
+        "exec_gap",
+        "load_gap",
+        "load_block",
+        "load_index",
+        "next_load_cycle",
+        "block_load_barrier",
+        "load_complete",
+        "exec_block",
+        "slot_index",
+        "next_exec_cycle",
+        "pending_out",
+        "pending_wb",
+        "loads_issued",
+        "instructions_issued",
+        "nops_issued",
+        "exec_stall_cycles",
+        "load_stall_cycles",
+        "backpressure_stall_cycles",
+    )
+
+    def __init__(self, schedule: OverlaySchedule, stage_index: int, num_blocks: int,
+                 in_channel: Optional[_FastChannel], out_channel: Optional[_FastChannel]):
+        stage = schedule.stage(stage_index)
+        variant = schedule.variant
+        self.stage_index = stage_index
+        self.num_blocks = num_blocks
+        self.load_order = list(stage.load_order)
+        const_ids = set(schedule.constants_used(stage_index))
+        # Precompute per-slot dispatch tuples:
+        # (is_nop, operands, emits, value_id, write_back).
+        self.slots: List[Tuple[bool, Tuple[int, ...], bool, Optional[int], bool]] = [
+            (
+                slot.kind is SlotKind.NOP,
+                tuple(o for o in slot.operands),
+                slot.emits,
+                slot.value_id,
+                slot.write_back,
+            )
+            for slot in stage.slots
+        ]
+        self.read_counts: Dict[int, int] = {}
+        for slot in stage.slots:
+            for operand in slot.operands:
+                if operand in const_ids:
+                    continue
+                self.read_counts[operand] = self.read_counts.get(operand, 0) + 1
+        self.rf = _FastRF(
+            name=f"FU{stage_index}.rf",
+            physical_depth=variant.rf_depth,
+            frame_capacity=variant.rf_frame_capacity,
+            const_ids=const_ids,
+        )
+        self.in_channel = in_channel
+        self.out_channel = out_channel
+        self.overlap = variant.overlap_load_execute
+        self.lookahead = 1 if variant.overlap_load_execute else 0
+        self.alu_depth = variant.alu_pipeline_depth
+        self.wb_latency = variant.iwp or variant.alu_pipeline_depth
+        self.exec_gap = variant.exec_block_gap
+        self.load_gap = variant.load_block_gap
+
+        self.load_block = 0
+        self.load_index = 0
+        self.next_load_cycle = 0
+        self.block_load_barrier = 0
+        self.load_complete: Dict[int, int] = {}
+        self.exec_block = 0
+        self.slot_index = 0
+        self.next_exec_cycle = 0
+        self.pending_out: Deque[Tuple[int, int, int]] = deque()
+        self.pending_wb: Deque[Tuple[int, int, int]] = deque()
+
+        self.loads_issued = 0
+        self.instructions_issued = 0
+        self.nops_issued = 0
+        self.exec_stall_cycles = 0
+        self.load_stall_cycles = 0
+        self.backpressure_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        wb = self.pending_wb
+        while wb and wb[0][0] <= cycle:
+            _, block, value_id = wb.popleft()
+            self.rf.write(block, value_id, self.read_counts.get(value_id, 0))
+        load_used_port = self._tick_load(cycle)
+        if self.overlap or not load_used_port:
+            self._tick_exec(cycle)
+
+    def _tick_load(self, cycle: int) -> bool:
+        if not self.load_order:
+            self.load_block = self.num_blocks
+            return False
+        if self.load_block >= self.num_blocks:
+            return False
+        if cycle < self.next_load_cycle or cycle < self.block_load_barrier:
+            return False
+        if self.load_block > self.exec_block + self.lookahead:
+            return False
+        expected = self.load_order[self.load_index]
+        if self.in_channel is None:
+            # Virtual DMA source: the next token is always available and is
+            # exactly (load_block, expected) by construction.
+            block, value_id = self.load_block, expected
+        else:
+            queue = self.in_channel.queue
+            if not queue:
+                self.load_stall_cycles += 1
+                return False
+            block, value_id = queue[0]
+            if block != self.load_block or value_id != expected:
+                raise SimulationError(
+                    f"FU{self.stage_index}: expected value N{expected} of block "
+                    f"{self.load_block} on the input FIFO, found N{value_id} of "
+                    f"block {block}"
+                )
+            queue.popleft()
+        self.rf.write(block, value_id, self.read_counts.get(value_id, 0))
+        self.loads_issued += 1
+        self.load_index += 1
+        self.next_load_cycle = cycle + 1
+        if self.load_index >= len(self.load_order):
+            self.load_complete[self.load_block] = cycle
+            self.load_index = 0
+            self.load_block += 1
+            self.next_load_cycle = cycle + 1 + self.load_gap
+        return True
+
+    def _tick_exec(self, cycle: int) -> None:
+        if self.exec_block >= self.num_blocks or not self.slots:
+            if not self.slots:
+                self.exec_block = self.num_blocks
+            return
+        if cycle < self.next_exec_cycle:
+            return
+        if self.load_order and (
+            self.load_block <= self.exec_block
+            or cycle <= self.load_complete.get(self.exec_block, -1)
+        ):
+            self.exec_stall_cycles += 1
+            return
+        is_nop, operands, emits, value_id, write_back = self.slots[self.slot_index]
+        block = self.exec_block
+
+        if is_nop:
+            self.nops_issued += 1
+            self.instructions_issued += 1
+            self._advance_slot(cycle)
+            return
+
+        rf = self.rf
+        for operand in operands:
+            if not rf.has(block, operand):
+                self.exec_stall_cycles += 1
+                return
+        if emits and self.out_channel is not None and self.out_channel.capacity > 0 and (
+            len(self.out_channel.queue) + len(self.pending_out) >= self.out_channel.capacity
+        ):
+            self.backpressure_stall_cycles += 1
+            return
+
+        for operand in operands:
+            rf.consume(block, operand)
+        self.instructions_issued += 1
+        if emits and value_id is not None:
+            self.pending_out.append((cycle + self.alu_depth, block, value_id))
+        if write_back and value_id is not None:
+            self.pending_wb.append((cycle + self.wb_latency, block, value_id))
+        self._advance_slot(cycle)
+
+    def _advance_slot(self, cycle: int) -> None:
+        self.slot_index += 1
+        self.next_exec_cycle = cycle + 1
+        if self.slot_index >= len(self.slots):
+            self.slot_index = 0
+            self.exec_block += 1
+            self.next_exec_cycle = cycle + 1 + self.exec_gap
+            if not self.overlap:
+                self.block_load_barrier = cycle + 1 + self.exec_gap
+
+    # ------------------------------------------------------------------
+    # steady-state support
+    # ------------------------------------------------------------------
+    def fingerprint(self, cycle: int, base_block: int) -> tuple:
+        """Control state relative to ``(cycle, base_block)``.
+
+        Cycle-valued fields that are already in the past collapse to their
+        clamp value (they compare identically forever); block pointers pinned
+        at ``num_blocks`` (stages without loads/slots) map to a sentinel so
+        they never alias a live relative pointer.
+        """
+        c, r = cycle, base_block
+        has_loads = bool(self.load_order)
+        has_slots = bool(self.slots)
+        load_rel = self.load_block - r if has_loads else _PINNED
+        exec_rel = self.exec_block - r if has_slots else _PINNED
+        lc_window: Tuple[Tuple[int, int], ...] = ()
+        if has_loads and has_slots:
+            lc = self.load_complete
+            lc_window = tuple(
+                (b - r, max(lc.get(b, c - 1) - c, -1))
+                for b in range(self.exec_block, min(self.load_block, self.num_blocks))
+            )
+        return (
+            load_rel,
+            self.load_index,
+            max(self.next_load_cycle - c, 0),
+            max(self.block_load_barrier - c, 0),
+            exec_rel,
+            self.slot_index,
+            max(self.next_exec_cycle - c, 0),
+            lc_window,
+            tuple((ready - c, block - r, vid) for ready, block, vid in self.pending_out),
+            tuple((ready - c, block - r, vid) for ready, block, vid in self.pending_wb),
+            tuple(sorted(((b - r, vid), n) for (b, vid), n in self.rf.reads_left.items())),
+        )
+
+    def stats_snapshot(self) -> Tuple[int, ...]:
+        return tuple(getattr(self, f) for f in _STAT_FIELDS)
+
+    def shift(self, delta_cycles: int, delta_blocks: int, periods: int,
+              stats_before: Tuple[int, ...]) -> None:
+        """Relabel this FU's state ``periods`` steady-state periods ahead."""
+        exec_before = self.exec_block
+        if self.load_order:
+            self.load_block += delta_blocks
+        if self.slots:
+            self.exec_block += delta_blocks
+        self.next_load_cycle += delta_cycles
+        self.next_exec_cycle += delta_cycles
+        self.block_load_barrier += delta_cycles
+        self.load_complete = {
+            block + delta_blocks: done + delta_cycles
+            for block, done in self.load_complete.items()
+            if block >= exec_before
+        }
+        self.pending_out = deque(
+            (ready + delta_cycles, block + delta_blocks, vid)
+            for ready, block, vid in self.pending_out
+        )
+        self.pending_wb = deque(
+            (ready + delta_cycles, block + delta_blocks, vid)
+            for ready, block, vid in self.pending_wb
+        )
+        self.rf.shift(delta_blocks)
+        for field, before in zip(_STAT_FIELDS, stats_before):
+            current = getattr(self, field)
+            setattr(self, field, current + periods * (current - before))
+
+    def stats(self) -> FUStats:
+        return FUStats(
+            loads_issued=self.loads_issued,
+            instructions_issued=self.instructions_issued,
+            nops_issued=self.nops_issued,
+            exec_stall_cycles=self.exec_stall_cycles,
+            load_stall_cycles=self.load_stall_cycles,
+            backpressure_stall_cycles=self.backpressure_stall_cycles,
+        )
+
+
+class FastSimulator:
+    """Drop-in fast engine with the same interface as ``OverlaySimulator``.
+
+    ``fast_forward=False`` disables the steady-state skip (the engine then
+    runs every cycle, still value-free); it exists for differential testing
+    of the fast-forward itself.
+    """
+
+    def __init__(
+        self,
+        schedule: OverlaySchedule,
+        max_cycles: Optional[int] = None,
+        enforce_rf_capacity: bool = True,
+        fast_forward: bool = True,
+    ):
+        self.schedule = schedule
+        self.max_cycles = max_cycles
+        self.enforce_rf_capacity = enforce_rf_capacity
+        self.fast_forward = fast_forward
+
+    # ------------------------------------------------------------------
+    def run(self, input_blocks: Sequence[Sequence[int]]) -> SimulationResult:
+        blocks = [list(block) for block in input_blocks]
+        if not blocks:
+            raise SimulationError("at least one input block is required")
+        width = self.schedule.dfg.num_inputs
+        for index, block in enumerate(blocks):
+            if len(block) != width:
+                raise SimulationError(
+                    f"input block {index} has {len(block)} values, kernel "
+                    f"{self.schedule.kernel_name!r} expects {width}"
+                )
+        if self.schedule.variant.lanes > 1:
+            return self._run_multilane(blocks)
+        return self._run_single_lane(blocks)
+
+    # ------------------------------------------------------------------
+    def _run_multilane(self, blocks: List[List[int]]) -> SimulationResult:
+        lanes = self.schedule.variant.lanes
+        lane_blocks = split_lane_blocks(blocks, lanes)
+        lane_results: List[Optional[SimulationResult]] = []
+        for lane in range(lanes):
+            if lane_blocks[lane]:
+                lane_results.append(self._run_single_lane(lane_blocks[lane]))
+            else:
+                lane_results.append(None)
+        return merge_lane_results(self.schedule, blocks, lane_results)
+
+    # ------------------------------------------------------------------
+    def _run_single_lane(self, blocks: List[List[int]]) -> SimulationResult:
+        schedule = self.schedule
+        num_blocks = len(blocks)
+        depth = schedule.depth
+        last = depth - 1
+
+        stage0_loads = len(schedule.stage(0).load_order)
+        expected_per_block = len(schedule.stage(last).emission_order)
+        if expected_per_block == 0:
+            raise SimulationError("the final stage emits nothing; schedule is broken")
+
+        channels = [
+            _FastChannel(name=f"ch{k}", capacity=schedule.overlay.fifo_depth)
+            for k in range(1, depth)
+        ]
+        fus: List[_FastFU] = []
+        for k in range(depth):
+            fus.append(
+                _FastFU(
+                    schedule,
+                    k,
+                    num_blocks,
+                    in_channel=channels[k - 1] if k > 0 else None,
+                    out_channel=channels[k] if k < last else None,
+                )
+            )
+
+        completion: List[Optional[int]] = [None] * num_blocks
+        received: Dict[int, Set[int]] = {}
+        completed = 0
+        cycle = 0
+        max_cycles = self.max_cycles or self._default_max_cycles(num_blocks)
+
+        seen: Optional[Dict[tuple, Tuple[int, int, List[Tuple[int, ...]], ]]] = (
+            {} if self.fast_forward else None
+        )
+
+        while completed < num_blocks:
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"simulation of {schedule.kernel_name!r} on "
+                    f"{schedule.overlay.name} exceeded {max_cycles} cycles; "
+                    "likely a schedule/codegen deadlock"
+                )
+            completions_this_cycle = 0
+            for k in range(depth):
+                pending = fus[k].pending_out
+                if k < last:
+                    channel = channels[k]
+                    while pending and pending[0][0] <= cycle:
+                        _, block, value_id = pending.popleft()
+                        channel.push((block, value_id))
+                else:
+                    while pending and pending[0][0] <= cycle:
+                        _, block, value_id = pending.popleft()
+                        bucket = received.get(block)
+                        if bucket is None:
+                            bucket = received[block] = set()
+                        bucket.add(value_id)
+                        if len(bucket) >= expected_per_block and completion[block] is None:
+                            completion[block] = cycle
+                            completed += 1
+                            completions_this_cycle += 1
+                            del received[block]
+            for fu in fus:
+                fu.tick(cycle)
+            cycle += 1
+
+            if completions_this_cycle and seen is not None and completed < num_blocks:
+                fingerprint = self._fingerprint(fus, channels, received, cycle, completed)
+                match = seen.get(fingerprint)
+                if match is None:
+                    seen[fingerprint] = (
+                        cycle,
+                        completed,
+                        [fu.stats_snapshot() for fu in fus],
+                    )
+                else:
+                    skipped_to = self._apply_fast_forward(
+                        match, fus, channels, received, completion, cycle, completed, num_blocks
+                    )
+                    if skipped_to is not None:
+                        cycle, completed = skipped_to
+                    # One skip captures the asymptotic win; further detection
+                    # would only re-find the same period.
+                    seen = None
+
+        total_cycles = cycle
+        outputs = _functional_outputs(schedule.dfg, blocks)
+        if self.enforce_rf_capacity:
+            for fu in fus:
+                fu.rf.check_capacity()
+
+        completion_cycles = [int(c) for c in completion]  # type: ignore[arg-type]
+        return SimulationResult(
+            kernel_name=schedule.kernel_name,
+            overlay_name=schedule.overlay.name,
+            num_blocks=num_blocks,
+            outputs=outputs,
+            completion_cycles=completion_cycles,
+            total_cycles=total_cycles,
+            measured_ii=_steady_state_ii(completion_cycles),
+            latency_cycles=completion_cycles[0] + 1,
+            fu_stats=[fu.stats() for fu in fus],
+            fifo_high_water=(
+                [num_blocks * stage0_loads]
+                + [channel.high_water for channel in channels]
+                + [num_blocks * expected_per_block]
+            ),
+            rf_high_water=[fu.rf.high_water for fu in fus],
+            rf_per_block_high_water=[fu.rf.per_block_high_water for fu in fus],
+            trace=None,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fingerprint(
+        fus: List[_FastFU],
+        channels: List[_FastChannel],
+        received: Dict[int, Set[int]],
+        cycle: int,
+        completed: int,
+    ) -> tuple:
+        return (
+            tuple(fu.fingerprint(cycle, completed) for fu in fus),
+            tuple(
+                tuple((block - completed, vid) for block, vid in channel.queue)
+                for channel in channels
+            ),
+            tuple(
+                (block - completed, tuple(sorted(vids)))
+                for block, vids in sorted(received.items())
+            ),
+        )
+
+    @staticmethod
+    def _apply_fast_forward(
+        match: Tuple[int, int, List[Tuple[int, ...]]],
+        fus: List[_FastFU],
+        channels: List[_FastChannel],
+        received: Dict[int, Set[int]],
+        completion: List[Optional[int]],
+        cycle: int,
+        completed: int,
+        num_blocks: int,
+    ) -> Optional[Tuple[int, int]]:
+        """Skip ahead as many whole periods as the remaining blocks allow.
+
+        Returns the new ``(cycle, completed)`` or None when no whole period
+        fits (the drain continues cycle-accurately either way).
+        """
+        cycle_1, completed_1, stats_1 = match
+        period = cycle - cycle_1
+        blocks_per_period = completed - completed_1
+        if period <= 0 or blocks_per_period <= 0:
+            return None
+        # The periodic evolution matches the finite run only while no block
+        # pointer reaches num_blocks, so leave the last period(s) to the
+        # cycle-accurate drain.
+        frontier = 0
+        for fu in fus:
+            if fu.load_order:
+                frontier = max(frontier, fu.load_block)
+            if fu.slots:
+                frontier = max(frontier, fu.exec_block)
+        periods = (num_blocks - 1 - frontier) // blocks_per_period
+        if periods < 1:
+            return None
+
+        delta_cycles = periods * period
+        delta_blocks = periods * blocks_per_period
+        window = completion[completed_1:completed]
+        for k in range(1, periods + 1):
+            base = completed_1 + k * blocks_per_period
+            offset = k * period
+            for j, done in enumerate(window):
+                completion[base + j] = done + offset  # type: ignore[operator]
+        for fu, stats_before in zip(fus, stats_1):
+            fu.shift(delta_cycles, delta_blocks, periods, stats_before)
+        for channel in channels:
+            channel.shift(delta_blocks)
+        if received:
+            shifted = {block + delta_blocks: vids for block, vids in received.items()}
+            received.clear()
+            received.update(shifted)
+        return cycle + delta_cycles, completed + delta_blocks
+
+    def _default_max_cycles(self, num_blocks: int) -> int:
+        schedule = self.schedule
+        per_block = schedule.total_instruction_slots + schedule.total_loads + 16
+        return (num_blocks + schedule.depth + 4) * per_block + 1000
+
+
+def _functional_outputs(dfg, blocks: List[List[int]]) -> List[List[int]]:
+    """Output rows exactly as the cycle simulator's datapath produces them.
+
+    Operation results are wrapped by the opcode semantics already; values
+    that enter the stream *unwrapped* (primary inputs and constants) always
+    reach the output FIFO through at least one PASS slot, whose ALU applies
+    the 32-bit wrap.
+    """
+    evaluator = BlockEvaluator(dfg)
+    needs_wrap = [
+        dfg.node(source).is_input or dfg.node(source).is_const
+        for source in evaluator.output_sources
+    ]
+    if not any(needs_wrap):
+        return [evaluator.evaluate(block) for block in blocks]
+    return [
+        [
+            _wrap(value) if wrap else value
+            for value, wrap in zip(evaluator.evaluate(block), needs_wrap)
+        ]
+        for block in blocks
+    ]
+
+
+def simulate_fast(
+    schedule: OverlaySchedule,
+    input_blocks: Sequence[Sequence[int]],
+    max_cycles: Optional[int] = None,
+    enforce_rf_capacity: bool = True,
+    fast_forward: bool = True,
+) -> SimulationResult:
+    """Run the fast engine on a stream of input blocks."""
+    simulator = FastSimulator(
+        schedule,
+        max_cycles=max_cycles,
+        enforce_rf_capacity=enforce_rf_capacity,
+        fast_forward=fast_forward,
+    )
+    return simulator.run(input_blocks)

@@ -1,0 +1,246 @@
+"""Parallel sweep runner: fan a (kernels x overlays x variants) grid out.
+
+Design-space exploration — Fig. 5 scalability, Fig. 6 throughput/latency,
+Table III, ad-hoc what-if grids — is embarrassingly parallel: every point
+compiles and simulates independently.  This module builds the grid, runs
+each point through the compiled-schedule cache and the fast simulation
+engine, and optionally fans the points out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Every helper degrades gracefully to serial execution (``jobs=1``, a single
+point, or a platform where processes cannot be spawned), so callers never
+need a fallback path of their own.  Results always come back in grid order
+regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+from ..kernels.library import get_kernel, kernel_names
+from ..metrics.performance import (
+    EVALUATION_VARIANTS,
+    PerformanceResult,
+    evaluate_kernel_all_overlays,
+    throughput_gops,
+)
+from ..overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
+from ..overlay.fu import get_variant
+from ..overlay.resources import overlay_fmax_mhz
+from ..sim.overlay import simulate_schedule
+from .cache import default_cache
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (kernel, overlay variant, depth) grid point to compile and run."""
+
+    kernel: str
+    variant: str
+    depth: int = 0  # 0 = auto: critical path, or DEFAULT_FIXED_DEPTH for V3-V5
+    num_blocks: int = 12
+    seed: int = 0
+    engine: str = "fast"
+    verify: bool = True
+
+
+@dataclass
+class SweepResult:
+    """Measurements of one sweep point."""
+
+    kernel: str
+    variant: str
+    overlay_name: str
+    overlay_depth: int
+    num_blocks: int
+    engine: str
+    analytic_ii: float
+    measured_ii: float
+    latency_cycles: int
+    total_cycles: int
+    fmax_mhz: float
+    throughput_gops: float
+    matches_reference: Optional[bool]
+    elapsed_s: float
+
+    def as_row(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def build_grid(
+    kernels: Optional[Sequence[str]] = None,
+    variants: Sequence[str] = ("v1", "v2"),
+    depths: Optional[Sequence[int]] = None,
+    num_blocks: int = 12,
+    seed: int = 0,
+    engine: str = "fast",
+    verify: bool = True,
+) -> List[SweepPoint]:
+    """Cross kernels x variants x depths into a list of sweep points.
+
+    ``depths=None`` (or a 0 entry) means auto sizing per kernel/variant.
+    """
+    names = list(kernels) if kernels else kernel_names()
+    depth_options = list(depths) if depths else [0]
+    return [
+        SweepPoint(
+            kernel=name,
+            variant=str(variant),
+            depth=depth,
+            num_blocks=num_blocks,
+            seed=seed,
+            engine=engine,
+            verify=verify,
+        )
+        for name in names
+        for variant in variants
+        for depth in depth_options
+    ]
+
+
+def _overlay_for_point(point: SweepPoint, dfg) -> LinearOverlay:
+    variant = get_variant(point.variant)
+    if point.depth:
+        if variant.write_back:
+            return LinearOverlay.fixed(variant, point.depth)
+        return LinearOverlay(variant=variant, depth=point.depth)
+    if variant.write_back:
+        return LinearOverlay.fixed(variant, DEFAULT_FIXED_DEPTH)
+    return LinearOverlay.for_kernel(variant, dfg)
+
+
+def run_point(point: SweepPoint) -> SweepResult:
+    """Compile (through the cache) and simulate one sweep point."""
+    from ..schedule import analytic_ii  # local import keeps worker start cheap
+
+    started = time.perf_counter()
+    dfg = get_kernel(point.kernel)
+    overlay = _overlay_for_point(point, dfg)
+    compiled = default_cache().get_or_compile(dfg, overlay)
+    schedule = compiled.schedule
+    result = simulate_schedule(
+        schedule,
+        num_blocks=point.num_blocks,
+        seed=point.seed,
+        verify=point.verify,
+        engine=point.engine,
+    )
+    fmax = overlay_fmax_mhz(overlay.variant, overlay.depth)
+    return SweepResult(
+        kernel=point.kernel,
+        variant=overlay.variant.name,
+        overlay_name=overlay.name,
+        overlay_depth=overlay.depth,
+        num_blocks=point.num_blocks,
+        engine=point.engine,
+        analytic_ii=float(analytic_ii(schedule)),
+        measured_ii=float(result.measured_ii),
+        latency_cycles=int(result.latency_cycles),
+        total_cycles=int(result.total_cycles),
+        fmax_mhz=float(fmax),
+        throughput_gops=throughput_gops(
+            schedule.dfg.num_operations, result.measured_ii, fmax
+        ),
+        matches_reference=result.matches_reference,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Sequence[T], jobs: Optional[int] = None
+) -> List[R]:
+    """Map ``fn`` over ``items``, in a process pool when it pays off.
+
+    Preserves input order.  Falls back to serial execution for tiny inputs,
+    ``jobs<=1`` or platforms where worker processes cannot be started, so it
+    is always safe to call.
+    """
+    items = list(items)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError, ImportError):
+        return [fn(item) for item in items]
+
+
+def run_sweep(
+    points: Sequence[SweepPoint], jobs: Optional[int] = None
+) -> List[SweepResult]:
+    """Run a sweep grid, fanning points out over worker processes.
+
+    Each worker process holds its own in-memory compile cache (warmed across
+    the points it handles); set ``REPRO_CACHE_DIR`` to share compilations
+    between workers and across runs through the disk layer.
+    """
+    for point in points:
+        if point.engine not in ("cycle", "fast"):
+            raise ConfigurationError(
+                f"unknown simulation engine {point.engine!r} in sweep point"
+            )
+    return parallel_map(run_point, points, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# benchmark-harness helpers (Fig. 6 / Table III adopt these)
+# ---------------------------------------------------------------------------
+def _evaluate_kernel_worker(args) -> Dict[str, PerformanceResult]:
+    name, variants, fixed_depth, simulate = args
+    return evaluate_kernel_all_overlays(
+        get_kernel(name), variants=variants, fixed_depth=fixed_depth, simulate=simulate
+    )
+
+
+def evaluate_many(
+    kernels: Sequence[str],
+    variants: Sequence[str] = EVALUATION_VARIANTS,
+    fixed_depth: Optional[int] = None,
+    simulate: bool = False,
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict[str, PerformanceResult]]:
+    """Evaluate many kernels on many overlay variants, one worker per kernel.
+
+    This is the engine behind the Fig. 6 / Table III harnesses: identical
+    results to calling :func:`evaluate_kernel_all_overlays` in a loop, but
+    the per-kernel work fans out over the process pool.
+    """
+    tasks = [(name, tuple(variants), fixed_depth, simulate) for name in kernels]
+    results = parallel_map(_evaluate_kernel_worker, tasks, jobs=jobs)
+    return dict(zip(kernels, results))
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def results_to_json(results: Sequence[SweepResult], indent: int = 2) -> str:
+    """Serialize sweep results as a JSON array of flat row objects."""
+    return json.dumps([result.as_row() for result in results], indent=indent)
+
+
+def render_sweep_table(results: Sequence[SweepResult]) -> str:
+    """Plain-text table of sweep results (CLI output)."""
+    header = (
+        f"{'kernel':10s} {'overlay':8s} {'blocks':>6s} {'II':>7s} {'meas II':>8s} "
+        f"{'lat cyc':>8s} {'GOPS':>7s} {'ref':>4s} {'sim s':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        check = {True: "OK", False: "FAIL", None: "-"}[r.matches_reference]
+        lines.append(
+            f"{r.kernel:10s} {r.overlay_name:8s} {r.num_blocks:6d} "
+            f"{r.analytic_ii:7.2f} {r.measured_ii:8.2f} {r.latency_cycles:8d} "
+            f"{r.throughput_gops:7.3f} {check:>4s} {r.elapsed_s:8.4f}"
+        )
+    return "\n".join(lines)

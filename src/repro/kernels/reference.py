@@ -76,8 +76,83 @@ def evaluate_dfg(dfg: DFG, inputs: InputBlock) -> List[int]:
     return [values[o.node_id] for o in dfg.outputs()]
 
 
+class BlockEvaluator:
+    """Precompiled evaluation of one DFG over many input blocks.
+
+    :func:`evaluate_dfg` re-derives the topological order and re-resolves
+    node records on every call, which dominates the wall-clock of streaming
+    workloads (the fast simulation engine evaluates thousands of blocks per
+    run).  This class compiles the evaluation plan once — dense value slots,
+    prebound opcode semantics, constant preloading — and then evaluates each
+    block with a flat loop.  Results are identical to :func:`evaluate_dfg`
+    by construction (same order, same :meth:`OpCode.evaluate` semantics).
+
+    Only positional (sequence) input blocks are supported; mapping-style
+    blocks should go through :func:`evaluate_dfg`.
+    """
+
+    def __init__(self, dfg: DFG):
+        self.dfg = dfg
+        slot_of: Dict[int, int] = {}
+        template: List[int] = []
+
+        def slot(node_id: int) -> int:
+            index = slot_of.get(node_id)
+            if index is None:
+                index = slot_of[node_id] = len(template)
+                template.append(0)
+            return index
+
+        self._input_slots = [slot(node.node_id) for node in dfg.inputs()]
+        steps: List[tuple] = []
+        for node_id in dfg.topological_order():
+            node = dfg.node(node_id)
+            if node.is_input:
+                slot(node_id)
+            elif node.is_const:
+                template[slot(node_id)] = int(node.value)
+            elif node.is_output:
+                continue
+            else:
+                operand_slots = tuple(slot(o) for o in node.operands)
+                steps.append((slot(node_id), node.opcode.evaluate, operand_slots))
+        self._template = template
+        self._steps = steps
+        #: Output source node for every output port, in declaration order.
+        self.output_sources = [node.operands[0] for node in dfg.outputs()]
+        self._output_slots = [slot_of[source] for source in self.output_sources]
+
+    def node_values(self, block: Sequence[int]) -> List[int]:
+        """Evaluate one block; returns the dense value-slot array."""
+        if len(block) != len(self._input_slots):
+            raise KernelError(
+                f"kernel {self.dfg.name!r} has {len(self._input_slots)} inputs, "
+                f"got {len(block)} values"
+            )
+        values = self._template[:]
+        for index, value in zip(self._input_slots, block):
+            values[index] = int(value)
+        for dest, evaluate, operands in self._steps:
+            if len(operands) == 2:
+                values[dest] = evaluate(values[operands[0]], values[operands[1]])
+            elif len(operands) == 1:
+                values[dest] = evaluate(values[operands[0]])
+            else:
+                values[dest] = evaluate(*[values[i] for i in operands])
+        return values
+
+    def evaluate(self, block: Sequence[int]) -> List[int]:
+        """Output values of one block (identical to :func:`evaluate_dfg`)."""
+        values = self.node_values(block)
+        return [values[index] for index in self._output_slots]
+
+
 def reference_outputs(dfg: DFG, blocks: Iterable[InputBlock]) -> List[List[int]]:
     """Evaluate a kernel on a stream of input blocks (one result per block)."""
+    blocks = list(blocks)
+    if blocks and all(not isinstance(block, Mapping) for block in blocks):
+        evaluator = BlockEvaluator(dfg)
+        return [evaluator.evaluate(block) for block in blocks]
     return [evaluate_dfg(dfg, block) for block in blocks]
 
 

@@ -25,15 +25,16 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..dfg.analysis import dfg_depth
 from ..dfg.graph import DFG
+from ..engine.cache import ScheduleCache, default_cache
 from ..errors import ConfigurationError, KernelError
 from ..kernels.library import get_kernel
 from ..overlay.architecture import LinearOverlay
 from ..overlay.context_switch import ContextSwitchEstimate, context_switch_time_s
 from ..overlay.fu import get_variant
 from ..overlay.resources import overlay_fmax_mhz
-from ..program.binary import ConfigurationImage, build_configuration_image
-from ..program.codegen import OverlayProgram, generate_program
-from ..schedule import analytic_ii, schedule_kernel
+from ..program.binary import ConfigurationImage
+from ..program.codegen import OverlayProgram
+from ..schedule import analytic_ii
 from ..schedule.types import OverlaySchedule
 from ..sim.overlay import SimulationResult, simulate_schedule
 
@@ -110,14 +111,43 @@ class OverlayRuntime:
     verify:
         Verify every execution against the golden reference model (default
         True; turn off for long throughput-oriented runs).
+    engine:
+        Simulation engine used by :meth:`execute` — ``"cycle"`` for the
+        value-level cycle-accurate reference simulator (default), ``"fast"``
+        for the event-driven engine (identical results, much faster; see
+        :mod:`repro.engine.fastsim`).  With ``engine="fast"`` the per-run
+        reference check is weaker (the fast engine derives its outputs from
+        the same functional evaluation as the reference model); keep the
+        default cycle engine where independent per-run verification
+        matters, and rely on the engine-equivalence test suite as the fast
+        engine's correctness guarantee.
+    cache:
+        Compiled-schedule cache consulted by :meth:`register`.  Defaults to
+        the process-wide :func:`repro.engine.cache.default_cache`, so
+        registering the same kernel on the same overlay configuration —
+        across repeated runs, sweeps, or several runtime instances — runs
+        the mapping flow (scheduling, register allocation, codegen) once.
     """
 
-    def __init__(self, variant, depth: int = 8, verify: bool = True):
+    def __init__(
+        self,
+        variant,
+        depth: int = 8,
+        verify: bool = True,
+        engine: str = "cycle",
+        cache: Optional[ScheduleCache] = None,
+    ):
         self.variant = get_variant(variant)
         if depth < 1:
             raise ConfigurationError("overlay depth must be positive")
+        if engine not in ("cycle", "fast"):
+            raise ConfigurationError(
+                f"unknown simulation engine {engine!r}; available: 'cycle', 'fast'"
+            )
         self._depth = depth
         self.verify = verify
+        self.engine = engine
+        self.cache = cache if cache is not None else default_cache()
         self.stats = RuntimeStats()
         self._kernels: Dict[str, KernelHandle] = {}
         self._loaded: Optional[str] = None
@@ -144,19 +174,24 @@ class OverlayRuntime:
     # kernel registration (ahead-of-time compilation)
     # ------------------------------------------------------------------
     def register(self, kernel: Union[str, DFG], name: Optional[str] = None) -> KernelHandle:
-        """Compile a kernel for this runtime's overlay and cache the result."""
+        """Compile a kernel for this runtime's overlay and cache the result.
+
+        Compilation goes through the compiled-schedule cache, so registering
+        a structurally identical kernel on the same overlay configuration —
+        in this runtime, another runtime, or a sweep worker that shares the
+        disk layer — reuses the schedule, program and configuration image
+        instead of re-running the mapping flow.
+        """
         dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
         kernel_name = name or dfg.name
         overlay = self._overlay_for(dfg)
-        schedule = schedule_kernel(dfg, overlay)
-        program = generate_program(schedule)
-        configuration = build_configuration_image(schedule, program)
+        compiled = self.cache.get_or_compile(dfg, overlay)
         handle = KernelHandle(
             name=kernel_name,
-            dfg=dfg,
-            schedule=schedule,
-            program=program,
-            configuration=configuration,
+            dfg=compiled.schedule.dfg,
+            schedule=compiled.schedule,
+            program=compiled.program,
+            configuration=compiled.configuration,
         )
         self._kernels[kernel_name] = handle
         return handle
@@ -223,6 +258,7 @@ class OverlayRuntime:
             handle.schedule,
             input_blocks=input_blocks,
             verify=self.verify,
+            engine=self.engine,
         )
         if self.verify and result.matches_reference is False:
             raise KernelError(

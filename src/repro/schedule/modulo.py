@@ -118,11 +118,8 @@ def modulo_schedule(
     if num_fus < 1:
         raise ScheduleError("at least one FU is required")
     levels = asap_levels(dfg)
-    operations = sorted(
-        (n.node_id for n in dfg.operations()),
-        key=lambda node_id: (-levels[node_id], node_id),
-    )
-    # Height-based priority: critical (deep) chains first.
+    # Height-based priority: critical (deep) chains first, ties broken by
+    # ASAP level then node id (a total order, so no pre-sort is needed).
     height: Dict[int, int] = {}
     for node_id in reversed(dfg.topological_order()):
         node = dfg.node(node_id)
@@ -134,7 +131,10 @@ def modulo_schedule(
             if c in height
         ]
         height[node_id] = 1 + (max(consumer_heights) if consumer_heights else 0)
-    operations.sort(key=lambda n: (-height[n], levels[n], n))
+    operations = sorted(
+        (n.node_id for n in dfg.operations()),
+        key=lambda n: (-height[n], levels[n], n),
+    )
 
     ii = initial_ii or minimum_ii(dfg, num_fus)
     ceiling = max_ii or (dfg.num_operations + dfg_depth(dfg) + 2)
@@ -158,24 +158,30 @@ def modulo_schedule(
 def _try_schedule(dfg, operations, num_fus, ii):
     start_slots: Dict[int, int] = {}
     fu_assignment: Dict[int, int] = {}
-    slot_occupancy: Dict[int, int] = {s: 0 for s in range(ii)}
-    horizon = ii * (dfg.num_operations + 2)
+    # Occupancy depends only on ``start % ii``, so a start cycle is feasible
+    # iff its modulo class has a free FU: the first feasible start lies
+    # within ``[earliest, earliest + ii)``, and tracking how many classes
+    # still have capacity lets an infeasible II fail in O(1) per operation
+    # instead of scanning an O(II x ops) horizon.
+    slot_occupancy = [0] * ii
+    free_slots = ii
     for node_id in operations:
         node = dfg.node(node_id)
         earliest = 0
         for operand in node.operands:
             if operand in start_slots:
                 earliest = max(earliest, start_slots[operand] + 1)
-        placed = False
-        for start in range(earliest, earliest + horizon):
-            if slot_occupancy[start % ii] < num_fus:
-                start_slots[node_id] = start
-                fu_assignment[node_id] = slot_occupancy[start % ii]
-                slot_occupancy[start % ii] += 1
-                placed = True
-                break
-        if not placed:
+        if free_slots == 0:
             return None
+        for start in range(earliest, earliest + ii):
+            occupancy = slot_occupancy[start % ii]
+            if occupancy < num_fus:
+                start_slots[node_id] = start
+                fu_assignment[node_id] = occupancy
+                slot_occupancy[start % ii] = occupancy + 1
+                if occupancy + 1 >= num_fus:
+                    free_slots -= 1
+                break
     return start_slots, fu_assignment
 
 

@@ -21,8 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import SimulationError
-from ..kernels.reference import evaluate_dfg
+from ..errors import ConfigurationError, SimulationError
 from ..schedule.types import OverlaySchedule
 from .fifo import StreamFIFO
 from .fu import FUSimulator, FUStats
@@ -205,7 +204,7 @@ class OverlaySimulator:
     # ------------------------------------------------------------------
     def _run_multilane(self, blocks: List[List[int]]) -> SimulationResult:
         lanes = self.schedule.variant.lanes
-        lane_blocks: List[List[List[int]]] = [blocks[lane::lanes] for lane in range(lanes)]
+        lane_blocks = split_lane_blocks(blocks, lanes)
         lane_results: List[Optional[SimulationResult]] = []
         single_lane = OverlaySimulator(
             self.schedule,
@@ -218,36 +217,7 @@ class OverlaySimulator:
                 lane_results.append(single_lane._run_single_lane(lane_blocks[lane]))
             else:
                 lane_results.append(None)
-
-        num_blocks = len(blocks)
-        outputs: List[List[int]] = [[] for _ in range(num_blocks)]
-        completion: List[int] = [0] * num_blocks
-        for lane, result in enumerate(lane_results):
-            if result is None:
-                continue
-            for local_index in range(result.num_blocks):
-                global_index = lane + local_index * lanes
-                outputs[global_index] = result.outputs[local_index]
-                completion[global_index] = result.completion_cycles[local_index]
-
-        primary = lane_results[0]
-        assert primary is not None
-        merged_sorted = sorted(completion)
-        return SimulationResult(
-            kernel_name=self.schedule.kernel_name,
-            overlay_name=self.schedule.overlay.name,
-            num_blocks=num_blocks,
-            outputs=outputs,
-            completion_cycles=completion,
-            total_cycles=max(r.total_cycles for r in lane_results if r is not None),
-            measured_ii=_steady_state_ii(merged_sorted),
-            latency_cycles=completion[0] + 1,
-            fu_stats=primary.fu_stats,
-            fifo_high_water=primary.fifo_high_water,
-            rf_high_water=primary.rf_high_water,
-            rf_per_block_high_water=primary.rf_per_block_high_water,
-            trace=primary.trace,
-        )
+        return merge_lane_results(self.schedule, blocks, lane_results)
 
     # ------------------------------------------------------------------
     def _decode_outputs(
@@ -275,6 +245,79 @@ class OverlaySimulator:
         return (num_blocks + schedule.depth + 4) * per_block + 1000
 
 
+def split_lane_blocks(blocks: List[List[int]], lanes: int) -> List[List[List[int]]]:
+    """Deal an input stream onto V2-style replicated lanes (round-robin)."""
+    return [blocks[lane::lanes] for lane in range(lanes)]
+
+
+def merge_lane_results(
+    schedule: OverlaySchedule,
+    blocks: List[List[int]],
+    lane_results: Sequence[Optional[SimulationResult]],
+) -> SimulationResult:
+    """Combine per-lane results of a replicated-datapath (V2) run.
+
+    Outputs and completion cycles interleave back into global block order.
+    Each lane is a physically replicated pipeline with its own FIFOs and
+    register files, so the activity/stall counters *add up* across lanes
+    while the high-water marks (capacity-sizing questions: how deep must a
+    channel or RF be) take the per-lane *maximum*.
+    """
+    lanes = schedule.variant.lanes
+    num_blocks = len(blocks)
+    outputs: List[List[int]] = [[] for _ in range(num_blocks)]
+    completion: List[int] = [0] * num_blocks
+    for lane, result in enumerate(lane_results):
+        if result is None:
+            continue
+        for local_index in range(result.num_blocks):
+            global_index = lane + local_index * lanes
+            outputs[global_index] = result.outputs[local_index]
+            completion[global_index] = result.completion_cycles[local_index]
+
+    active = [result for result in lane_results if result is not None]
+    primary = lane_results[0]
+    assert primary is not None
+    fu_stats = [
+        FUStats(
+            loads_issued=sum(r.fu_stats[k].loads_issued for r in active),
+            instructions_issued=sum(r.fu_stats[k].instructions_issued for r in active),
+            nops_issued=sum(r.fu_stats[k].nops_issued for r in active),
+            exec_stall_cycles=sum(r.fu_stats[k].exec_stall_cycles for r in active),
+            load_stall_cycles=sum(r.fu_stats[k].load_stall_cycles for r in active),
+            backpressure_stall_cycles=sum(
+                r.fu_stats[k].backpressure_stall_cycles for r in active
+            ),
+        )
+        for k in range(len(primary.fu_stats))
+    ]
+    merged_sorted = sorted(completion)
+    return SimulationResult(
+        kernel_name=schedule.kernel_name,
+        overlay_name=schedule.overlay.name,
+        num_blocks=num_blocks,
+        outputs=outputs,
+        completion_cycles=completion,
+        total_cycles=max(r.total_cycles for r in active),
+        measured_ii=_steady_state_ii(merged_sorted),
+        latency_cycles=completion[0] + 1,
+        fu_stats=fu_stats,
+        fifo_high_water=[
+            max(r.fifo_high_water[i] for r in active)
+            for i in range(len(primary.fifo_high_water))
+        ],
+        rf_high_water=[
+            max(r.rf_high_water[i] for r in active)
+            for i in range(len(primary.rf_high_water))
+        ],
+        rf_per_block_high_water=[
+            max(r.rf_per_block_high_water[i] for r in active)
+            for i in range(len(primary.rf_per_block_high_water))
+        ],
+        trace=primary.trace,
+    )
+
+
 def _steady_state_ii(completion_cycles: Sequence[int]) -> float:
     """Average spacing between consecutive block completions in steady state."""
     if len(completion_cycles) < 2:
@@ -295,6 +338,7 @@ def simulate_schedule(
     seed: int = 0,
     record_trace: bool = False,
     verify: bool = True,
+    engine: str = "cycle",
 ) -> SimulationResult:
     """Convenience wrapper: simulate a schedule and verify against the reference.
 
@@ -302,15 +346,39 @@ def simulate_schedule(
     ``num_blocks`` blocks is generated.  With ``verify=True`` the golden
     reference outputs are attached to the result so
     :attr:`SimulationResult.matches_reference` is populated.
+
+    ``engine`` selects the simulation core: ``"cycle"`` is this module's
+    cycle-accurate value-level simulator (the golden reference);  ``"fast"``
+    is the event-driven engine of :mod:`repro.engine.fastsim`, which produces
+    an identical :class:`SimulationResult` (asserted across the whole kernel
+    library by the equivalence test suite) an order of magnitude faster.
+    Trace recording needs per-cycle value-level events, so ``record_trace``
+    always uses the cycle engine.
+
+    Note that the fast engine reconstructs its output stream from the same
+    functional DFG evaluation the reference model uses, so for
+    ``engine="fast"`` the ``matches_reference`` check validates the
+    evaluation pipeline but cannot catch a fast-engine *timing* bug the way
+    it catches a cycle-simulator datapath bug; the end-to-end guarantee for
+    the fast engine is the exact-equivalence suite against the cycle engine
+    (``tests/test_engine_equivalence.py``).
     """
     from ..kernels.reference import random_input_blocks
 
+    if engine not in ("cycle", "fast"):
+        raise ConfigurationError(
+            f"unknown simulation engine {engine!r}; available: 'cycle', 'fast'"
+        )
     if input_blocks is None:
         input_blocks = random_input_blocks(schedule.dfg, num_blocks, seed=seed)
-    simulator = OverlaySimulator(schedule, record_trace=record_trace)
-    result = simulator.run(input_blocks)
+    if engine == "fast" and not record_trace:
+        from ..engine.fastsim import FastSimulator
+
+        result = FastSimulator(schedule).run(input_blocks)
+    else:
+        result = OverlaySimulator(schedule, record_trace=record_trace).run(input_blocks)
     if verify:
-        result.reference_outputs = [
-            evaluate_dfg(schedule.dfg, block) for block in input_blocks
-        ]
+        from ..kernels.reference import reference_outputs
+
+        result.reference_outputs = reference_outputs(schedule.dfg, input_blocks)
     return result

@@ -1,0 +1,162 @@
+"""Tests for the parallel sweep runner and the ``repro-overlay sweep`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.sweep import (
+    SweepPoint,
+    build_grid,
+    evaluate_many,
+    parallel_map,
+    render_sweep_table,
+    results_to_json,
+    run_point,
+    run_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.kernels import kernel_names
+from repro.metrics.performance import evaluate_kernel_all_overlays
+from repro.kernels.library import get_kernel
+
+
+class TestGridConstruction:
+    def test_grid_crosses_all_dimensions(self):
+        grid = build_grid(
+            kernels=["gradient", "qspline"], variants=["v1", "v2"], depths=[0, 8]
+        )
+        assert len(grid) == 8
+        assert {p.kernel for p in grid} == {"gradient", "qspline"}
+        assert {p.variant for p in grid} == {"v1", "v2"}
+
+    def test_default_grid_covers_the_library(self):
+        grid = build_grid()
+        assert len(grid) == len(kernel_names()) * 2
+
+
+class TestRunPoint:
+    def test_point_measures_ii_and_verifies(self):
+        result = run_point(SweepPoint(kernel="gradient", variant="v1", num_blocks=16))
+        assert result.overlay_name == "V1x4"
+        assert result.measured_ii == pytest.approx(result.analytic_ii)
+        assert result.matches_reference is True
+        assert result.throughput_gops > 0
+
+    def test_fixed_depth_variant_auto_depth(self):
+        result = run_point(SweepPoint(kernel="poly7", variant="v3", num_blocks=8))
+        assert result.overlay_depth == 8
+
+    def test_engines_agree_on_a_point(self):
+        fast = run_point(SweepPoint(kernel="mibench", variant="v1", num_blocks=24))
+        cycle = run_point(
+            SweepPoint(kernel="mibench", variant="v1", num_blocks=24, engine="cycle")
+        )
+        assert fast.measured_ii == cycle.measured_ii
+        assert fast.latency_cycles == cycle.latency_cycles
+        assert fast.total_cycles == cycle.total_cycles
+
+
+class TestRunSweep:
+    def test_serial_sweep_preserves_grid_order(self):
+        grid = build_grid(kernels=["gradient", "chebyshev"], variants=["v1"], num_blocks=8)
+        results = run_sweep(grid, jobs=1)
+        assert [r.kernel for r in results] == ["gradient", "chebyshev"]
+        assert all(r.matches_reference for r in results)
+
+    def test_parallel_sweep_matches_serial(self):
+        grid = build_grid(kernels=["gradient", "chebyshev"], variants=["v1"], num_blocks=8)
+        serial = run_sweep(grid, jobs=1)
+        parallel = run_sweep(grid, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert (a.kernel, a.measured_ii, a.latency_cycles, a.total_cycles) == (
+                b.kernel,
+                b.measured_ii,
+                b.latency_cycles,
+                b.total_cycles,
+            )
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep([SweepPoint(kernel="gradient", variant="v1", engine="warp")])
+
+    def test_parallel_map_serial_fallback(self):
+        assert parallel_map(lambda x: x * 2, [1, 2, 3], jobs=1) == [2, 4, 6]
+
+
+class TestEvaluateMany:
+    def test_matches_direct_evaluation(self):
+        names = ["gradient", "chebyshev"]
+        fanned = evaluate_many(names, jobs=1)
+        for name in names:
+            direct = evaluate_kernel_all_overlays(get_kernel(name))
+            assert set(fanned[name]) == set(direct)
+            for label in direct:
+                assert fanned[name][label].ii == direct[label].ii
+                assert fanned[name][label].throughput_gops == pytest.approx(
+                    direct[label].throughput_gops
+                )
+
+
+class TestSweepCLI:
+    def test_sweep_json_smoke(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--kernels",
+                "gradient,chebyshev",
+                "--variants",
+                "v1",
+                "--blocks",
+                "8",
+                "--jobs",
+                "1",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert {row["kernel"] for row in rows} == {"gradient", "chebyshev"}
+        for row in rows:
+            assert row["matches_reference"] is True
+            assert row["engine"] == "fast"
+            assert row["measured_ii"] > 0
+
+    def test_sweep_table_smoke(self, capsys):
+        exit_code = main(
+            ["sweep", "--kernels", "gradient", "--variants", "v1,v2", "--blocks", "8",
+             "--jobs", "1"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "V1x4" in out and "V2x4" in out
+
+    def test_sweep_rejects_unknown_kernel(self, capsys):
+        exit_code = main(["sweep", "--kernels", "nonexistent", "--jobs", "1"])
+        assert exit_code == 2
+
+    def test_simulate_engine_flag(self, capsys):
+        exit_code = main(
+            ["simulate", "--kernel", "gradient", "--variant", "v1", "--blocks", "8",
+             "--engine", "fast"]
+        )
+        assert exit_code == 0
+        assert "II=6.00" in capsys.readouterr().out
+
+
+class TestRendering:
+    def test_results_to_json_round_trips(self):
+        results = run_sweep(
+            build_grid(kernels=["gradient"], variants=["v1"], num_blocks=8), jobs=1
+        )
+        rows = json.loads(results_to_json(results))
+        assert rows[0]["kernel"] == "gradient"
+
+    def test_render_table_contains_header_and_rows(self):
+        results = run_sweep(
+            build_grid(kernels=["gradient"], variants=["v1"], num_blocks=8), jobs=1
+        )
+        table = render_sweep_table(results)
+        assert "kernel" in table.splitlines()[0]
+        assert "gradient" in table
