@@ -13,6 +13,11 @@ benchmark set:
 Each kernel is mapped onto every relevant overlay variant, verified in the
 cycle-accurate simulator and compared in a small table.
 
+Both frontends (`repro.frontend.parse_c_kernel`, `repro.frontend.trace_kernel`)
+and their content-hashed caching are documented in docs/compiler.md; the
+overall flow in docs/architecture.md.  The same mini-C path is available from
+the shell as `repro-overlay map --source my_kernel.c`.
+
 Run with:  python examples/custom_kernel.py
 """
 

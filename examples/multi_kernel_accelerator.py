@@ -14,6 +14,11 @@ rotates through four kernels of the benchmark set, and reports:
 * the total time to process a batch of data blocks per kernel, including the
   context switches — the number a system designer actually cares about.
 
+The APIs used here (`repro.map_kernel`, the context-switch model, the
+resource/Fmax models) are mapped in docs/architecture.md; for runtime-style
+kernel management see `repro.runtime.manager.OverlayRuntime`, whose compile
+path is documented in docs/compiler.md.
+
 Run with:  python examples/multi_kernel_accelerator.py
 """
 

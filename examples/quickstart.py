@@ -13,6 +13,10 @@ This walks the complete tool flow of the paper on its running example
    cycle-by-cycle schedule,
 5. report II, throughput and latency, next to the numbers the paper quotes.
 
+The APIs used here are documented in docs/architecture.md (pipeline map:
+`repro.map_kernel`, `repro.sim.simulate_schedule`) and docs/compiler.md (the
+mini-C frontend behind `repro.kernels.library.GRADIENT_C_SOURCE`).
+
 Run with:  python examples/quickstart.py
 """
 

@@ -7,6 +7,10 @@ III-A.3: how the linear overlay scales with its depth on the Zynq XC7Z020
 dual-overlay tiles (two depth-8 V3 overlays plus a Hoplite-style router) fit
 on the device.
 
+The overlay/resource APIs used here (`repro.overlay.resources`,
+`repro.overlay.tile`) are mapped in docs/architecture.md; the Fig. 5 sweep is
+also available from the shell as `repro-overlay scalability --variant v1`.
+
 Run with:  python examples/scalability_and_tiles.py
 """
 

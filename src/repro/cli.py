@@ -5,14 +5,19 @@
     repro-overlay kernels                         # list benchmark kernels
     repro-overlay variants                        # list FU variants (Table I)
     repro-overlay map --kernel gradient --variant v1
+    repro-overlay map --source my_kernel.c --variant v2   # your own mini-C file
     repro-overlay simulate --kernel qspline --variant v3 --depth 8 --blocks 16
     repro-overlay sweep --kernels all --variants v1,v2 --blocks 64 --json
     repro-overlay table3                          # regenerate Table III
     repro-overlay scalability --variant v1        # Fig. 5 data series
     repro-overlay dot --kernel qspline            # DFG in Graphviz DOT
+    repro-overlay cache --stats                   # compile-cache statistics
 
 Every sub-command prints plain text to stdout, so the CLI is also how the
-examples and the EXPERIMENTS.md tables were produced.
+examples and the EXPERIMENTS.md tables were produced.  ``map`` and
+``simulate`` accept either a library kernel (``--kernel``) or a mini-C source
+file (``--source``); sources are compiled through the end-to-end compile
+cache documented in ``docs/compiler.md``.
 """
 
 from __future__ import annotations
@@ -29,7 +34,6 @@ from .metrics.tables import render_fig5_series, render_table1, render_table3
 from .overlay.architecture import LinearOverlay
 from .overlay.fu import FU_VARIANTS, get_variant
 from .overlay.resources import scalability_sweep
-from .program.codegen import generate_program
 from .schedule import analytic_ii, schedule_kernel
 from .sim.overlay import simulate_schedule
 from .sim.trace import render_schedule_table
@@ -45,6 +49,54 @@ def _build_overlay(args, dfg) -> LinearOverlay:
     if variant.write_back:
         return LinearOverlay.fixed(variant)
     return LinearOverlay.for_kernel(variant, dfg)
+
+
+def _load_kernel(args):
+    """Resolve the kernel of a ``map``/``simulate`` invocation.
+
+    Returns ``(dfg, source_text_or_None)``.  ``--source FILE`` parses a
+    mini-C file through the content-hashed frontend cache; otherwise
+    ``--kernel NAME`` picks a library kernel.
+    """
+    source_path = getattr(args, "source", None)
+    if source_path and args.kernel:
+        raise ReproError("--kernel and --source are mutually exclusive")
+    if source_path:
+        try:
+            with open(source_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise ReproError(f"cannot read --source file: {error}")
+        from .frontend import parse_c_kernel
+
+        return parse_c_kernel(source), source
+    if not args.kernel:
+        raise ReproError("provide --kernel NAME or --source FILE")
+    return get_kernel(args.kernel), None
+
+
+def _compile_kernel(dfg, source, overlay):
+    """Compile through the process-wide cache (source fast path when given).
+
+    Returns ``(schedule, program_or_None)``; the program comes for free from
+    the cached :class:`~repro.engine.cache.CompiledKernel`.  Kernels that
+    schedule but exceed the register file / instruction memory fall back to
+    schedule-only compilation (``program`` is ``None``), so ``map`` and
+    ``simulate`` keep working for them.  The in-memory layer is empty in a
+    one-shot CLI process, but the disk layer (``REPRO_CACHE_DIR``) makes
+    repeated shell invocations skip the mapping flow entirely.
+    """
+    from .engine.cache import default_cache
+    from .errors import CodegenError
+
+    try:
+        if source is not None:
+            compiled = default_cache().get_or_compile_source(source, overlay)
+        else:
+            compiled = default_cache().get_or_compile(dfg, overlay)
+        return compiled.schedule, compiled.program
+    except CodegenError:
+        return schedule_kernel(dfg, overlay), None
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
@@ -68,14 +120,19 @@ def _cmd_variants(args: argparse.Namespace) -> int:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    dfg = get_kernel(args.kernel)
+    dfg, source = _load_kernel(args)
     overlay = _build_overlay(args, dfg)
-    schedule = schedule_kernel(dfg, overlay)
+    schedule, program = _compile_kernel(dfg, source, overlay)
+    if args.program and program is None:
+        # Surface the real codegen error (register file / instruction
+        # memory overflow) instead of printing a schedule with no program.
+        from .program.codegen import generate_program
+
+        program = generate_program(schedule)
     print(schedule_listing(schedule))
     print()
     print(f"analytic II: {analytic_ii(schedule)}")
     if args.program:
-        program = generate_program(schedule)
         print()
         print(program.listing())
         print(f"\ntotal instruction words: {program.total_instruction_words}")
@@ -83,9 +140,9 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    dfg = get_kernel(args.kernel)
+    dfg, source = _load_kernel(args)
     overlay = _build_overlay(args, dfg)
-    schedule = schedule_kernel(dfg, overlay)
+    schedule, _ = _compile_kernel(dfg, source, overlay)
     result = simulate_schedule(
         schedule,
         num_blocks=args.blocks,
@@ -170,6 +227,54 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import glob
+    import os
+
+    from .engine.cache import default_cache
+    from .frontend.cache import default_frontend_cache
+
+    compile_cache = default_cache()
+    frontend_cache = default_frontend_cache()
+    disk_entries = (
+        sorted(glob.glob(os.path.join(compile_cache.disk_dir, "*.pkl")))
+        if compile_cache.disk_dir and os.path.isdir(compile_cache.disk_dir)
+        else []
+    )
+    if args.clear:
+        # The in-memory layers are per-process; the disk layer is the state
+        # that actually persists across CLI invocations, so clear both.
+        compile_cache.clear()
+        frontend_cache.clear()
+        for path in disk_entries:
+            try:
+                os.unlink(path)
+            except OSError as error:
+                print(f"warning: could not remove {path}: {error}", file=sys.stderr)
+        where = (
+            f" and {len(disk_entries)} disk entries from {compile_cache.disk_dir}"
+            if disk_entries
+            else ""
+        )
+        print(f"in-memory compile and frontend caches cleared{where}")
+        return 0
+    stats = compile_cache.stats
+    print("compiled-schedule cache:")
+    print(f"  entries     : {len(compile_cache)} in memory (capacity "
+          f"{compile_cache.capacity}), this process only")
+    print(f"  hits        : {stats.hits} memory, {stats.disk_hits} disk, "
+          f"{stats.source_hits} source fast path")
+    print(f"  misses      : {stats.misses} ({stats.evictions} evictions)")
+    print(f"  hit rate    : {stats.hit_rate * 100:.1f}%")
+    if compile_cache.disk_dir:
+        print(f"  disk layer  : {len(disk_entries)} entries in {compile_cache.disk_dir}")
+    else:
+        print("  disk layer  : disabled (set REPRO_CACHE_DIR to persist across runs)")
+    print("frontend cache (this process only):")
+    print(f"  {frontend_cache.stats.summary()}")
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     series = {args.variant: scalability_sweep(args.variant, range(2, args.max_depth + 1, 2))}
     print(render_fig5_series(series))
@@ -201,14 +306,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_map = sub.add_parser("map", help="schedule a kernel onto an overlay")
-    p_map.add_argument("--kernel", required=True, choices=kernel_names())
+    p_map.add_argument("--kernel", default=None, choices=kernel_names())
+    p_map.add_argument(
+        "--source", default=None, metavar="FILE", help="mini-C source file to compile"
+    )
     p_map.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))
     p_map.add_argument("--depth", type=int, default=0, help="override the overlay depth")
     p_map.add_argument("--program", action="store_true", help="also print the FU programs")
     p_map.set_defaults(func=_cmd_map)
 
     p_sim = sub.add_parser("simulate", help="run the cycle-accurate simulator")
-    p_sim.add_argument("--kernel", required=True, choices=kernel_names())
+    p_sim.add_argument("--kernel", default=None, choices=kernel_names())
+    p_sim.add_argument(
+        "--source", default=None, metavar="FILE", help="mini-C source file to compile"
+    )
     p_sim.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))
     p_sim.add_argument("--depth", type=int, default=0)
     p_sim.add_argument("--blocks", type=int, default=12)
@@ -262,6 +373,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_scale.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))
     p_scale.add_argument("--max-depth", type=int, default=16)
     p_scale.set_defaults(func=_cmd_scalability)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the compile caches")
+    p_cache.add_argument(
+        "--stats", action="store_true", help="print cache statistics (the default)"
+    )
+    p_cache.add_argument(
+        "--clear",
+        action="store_true",
+        help="clear the in-memory caches and the REPRO_CACHE_DIR disk entries",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_dot = sub.add_parser("dot", help="emit a Graphviz DOT drawing of a kernel DFG")
     p_dot.add_argument("--kernel", required=True, choices=kernel_names())

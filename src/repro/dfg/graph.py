@@ -35,6 +35,7 @@ class DFG:
         self._nodes: Dict[int, DFGNode] = {}
         self._consumers: Dict[int, List[Tuple[int, int]]] = {}
         self._next_id = 1
+        self._topo_cache: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -67,6 +68,7 @@ class DFG:
             self._consumers[operand].append((node.node_id, position))
         if node.node_id >= self._next_id:
             self._next_id = node.node_id + 1
+        self._topo_cache = None
         return node
 
     def new_node(
@@ -194,11 +196,43 @@ class DFG:
         return graph
 
     def topological_order(self) -> List[int]:
-        """Node ids in a deterministic topological order (by ASAP then id)."""
-        graph = self.to_networkx()
-        if not nx.is_directed_acyclic_graph(graph):
+        """Node ids in a deterministic topological order (smallest ready id first).
+
+        Matches networkx's lexicographical topological sort but runs
+        directly on the internal indices with a binary heap and memoises the
+        result until the next :meth:`add_node`.  This sits on the hot
+        compile path — every ASAP/ALAP levelization and depth query calls
+        it — so it must not materialise a ``DiGraph`` per call.
+
+        Raises
+        ------
+        DFGValidationError
+            If the graph contains a cycle.
+        """
+        # getattr: DFGs unpickled from a pre-overhaul disk cache lack the
+        # memo attribute entirely; they must keep working, not crash.
+        cached = getattr(self, "_topo_cache", None)
+        if cached is not None:
+            return list(cached)
+        import heapq
+
+        indegree = {
+            node_id: len(set(node.operands)) for node_id, node in self._nodes.items()
+        }
+        ready = [node_id for node_id, degree in indegree.items() if degree == 0]
+        heapq.heapify(ready)
+        order: List[int] = []
+        while ready:
+            node_id = heapq.heappop(ready)
+            order.append(node_id)
+            for consumer in set(c for c, _ in self._consumers[node_id]):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    heapq.heappush(ready, consumer)
+        if len(order) != len(self._nodes):
             raise DFGValidationError(f"DFG {self.name!r} contains a cycle")
-        return list(nx.lexicographical_topological_sort(graph))
+        self._topo_cache = order
+        return list(order)
 
     def copy(self, name: Optional[str] = None) -> "DFG":
         """Deep-copy the graph (nodes are immutable so they are shared)."""

@@ -1,13 +1,20 @@
-"""DFG serialization: JSON round-trip and Graphviz DOT export.
+"""DFG serialization: JSON round-trip, content hashing and Graphviz DOT export.
 
 The JSON format is intentionally simple and stable so that DFGs extracted by
 an external HLS flow (the paper used HercuLeS) can be dropped into the tool
 flow as files: a list of node records with ``id``, ``op``, ``operands`` and
 optional ``name`` / ``value`` fields.
+
+The same canonical JSON doubles as the definition of DFG *identity* for the
+compile cache: :func:`dfg_fingerprint` hashes :func:`canonical_json`, so two
+structurally identical DFG copies share every cached compilation while any
+edit — node ids, opcodes, operand wiring, names, even a constant's value —
+produces a different key.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, Iterable, List, Union
 
@@ -33,6 +40,20 @@ def to_dict(dfg: DFG) -> Dict[str, Any]:
             for node in dfg.nodes()
         ],
     }
+
+
+def canonical_json(dfg: DFG) -> str:
+    """Key-sorted, whitespace-free JSON rendering — the canonical DFG form."""
+    return json.dumps(to_dict(dfg), sort_keys=True, separators=(",", ":"))
+
+
+def dfg_fingerprint(dfg: DFG) -> str:
+    """Stable content hash of a DFG (independent of object identity).
+
+    This is the DFG-level component of every compile-cache key; see
+    :mod:`repro.engine.cache` and ``docs/compiler.md``.
+    """
+    return hashlib.sha256(canonical_json(dfg).encode("utf-8")).hexdigest()
 
 
 def from_dict(data: Dict[str, Any], validate: bool = True) -> DFG:

@@ -13,6 +13,8 @@ sweeps:
 * :mod:`repro.engine.cache` — a compiled-schedule cache keyed on the DFG
   content hash and the overlay configuration, so repeated ``register`` /
   sweep calls never re-run scheduling, register allocation or codegen.
+  Together with :mod:`repro.frontend.cache` it forms the end-to-end compile
+  cache (source → AST → DFG → schedule → binary); see ``docs/compiler.md``.
 * :mod:`repro.engine.sweep` — a (kernels x overlays x variants) grid runner
   that fans points out over a process pool and powers the ``repro-overlay
   sweep`` CLI subcommand and the benchmark harnesses.

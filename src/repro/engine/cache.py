@@ -8,7 +8,8 @@ same nine kernels on the same five variants over and over — so this module
 memoises the compiled artifacts:
 
 * the **key** is ``(kernel name, DFG content hash, FU variant, depth,
-  fixed-depth flag, FIFO depth)``.  The DFG hash covers the full node list
+  fixed-depth flag, FIFO depth)``.  The DFG hash
+  (:func:`repro.dfg.serialize.dfg_fingerprint`) covers the full node list
   (ids, opcodes, operands, names, constant values) via the canonical JSON
   serialization, so two structurally identical DFG copies hit the same entry
   while any edit — even to a constant — misses;
@@ -20,6 +21,17 @@ memoises the compiled artifacts:
   so the worker processes of a parallel sweep can share compilations across
   runs.  Disk writes are atomic (temp file + rename).
 
+End-to-end chain
+----------------
+Together with the frontend layer (:mod:`repro.frontend.cache`) the cache
+covers the full ``source → tokens → AST → DFG → schedule → program →
+configuration image`` chain, every stage keyed by content hash.
+:meth:`ScheduleCache.get_or_compile_source` is the one-call entry: a warm hit
+on its *source index* — keyed by ``(source hash, name, optimizer flag,
+overlay configuration)`` — returns the compiled binary without lexing,
+parsing, lowering or even hashing a DFG.  A cold call falls through layer by
+layer, reusing whatever prefix of the chain is already cached.
+
 Compiled artifacts are treated as immutable by every consumer (simulator,
 codegen listings, context-switch accounting), which is what makes sharing a
 single instance across runtimes and sweep points safe.
@@ -28,17 +40,16 @@ single instance across runtimes and sweep points safe.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import pickle
 import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..dfg.graph import DFG
-from ..dfg.serialize import to_dict
+from ..dfg.serialize import dfg_fingerprint
 from ..overlay.architecture import LinearOverlay
 from ..program.binary import ConfigurationImage, build_configuration_image
 from ..program.codegen import OverlayProgram, generate_program
@@ -47,9 +58,8 @@ from ..schedule.types import OverlaySchedule
 
 
 def dfg_content_hash(dfg: DFG) -> str:
-    """Stable content hash of a DFG (independent of object identity)."""
-    canonical = json.dumps(to_dict(dfg), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    """Stable content hash of a DFG (alias of :func:`dfg_fingerprint`)."""
+    return dfg_fingerprint(dfg)
 
 
 @dataclass(frozen=True)
@@ -94,19 +104,27 @@ class CompiledKernel:
 
 @dataclass
 class CacheStats:
+    """Hit/miss accounting of one :class:`ScheduleCache`.
+
+    ``source_hits`` counts warm hits on the source index — full-chain
+    lookups that skipped the frontend entirely; they are *in addition to*
+    the DFG-keyed ``hits``, never double-counted.
+    """
+
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    source_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses + self.disk_hits
+        return self.hits + self.misses + self.disk_hits + self.source_hits
 
     @property
     def hit_rate(self) -> float:
         lookups = self.lookups
-        return (self.hits + self.disk_hits) / lookups if lookups else 0.0
+        return (self.hits + self.disk_hits + self.source_hits) / lookups if lookups else 0.0
 
 
 class ScheduleCache:
@@ -119,6 +137,7 @@ class ScheduleCache:
         self.disk_dir = disk_dir if disk_dir is not None else os.environ.get("REPRO_CACHE_DIR")
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, CompiledKernel]" = OrderedDict()
+        self._source_index: "OrderedDict[Tuple, CacheKey]" = OrderedDict()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -126,14 +145,69 @@ class ScheduleCache:
         return len(self._entries)
 
     def clear(self) -> None:
+        """Drop every entry (and the source index) and reset the statistics."""
         with self._lock:
             self._entries.clear()
+            self._source_index.clear()
             self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     def get_or_compile(self, dfg: DFG, overlay: LinearOverlay) -> CompiledKernel:
         """Return the compiled artifacts, running the mapping flow on a miss."""
         key = CacheKey.for_mapping(dfg, overlay)
+        return self._get_or_compile_keyed(key, dfg, overlay)
+
+    def get_or_compile_source(
+        self,
+        source: str,
+        overlay: LinearOverlay,
+        name: Optional[str] = None,
+        run_optimizer: bool = True,
+    ) -> CompiledKernel:
+        """Compile mini-C source end-to-end, reusing every cached stage.
+
+        The warm path is a single dictionary lookup keyed by ``(source
+        content hash, name, run_optimizer, overlay configuration)`` — no
+        lexing, parsing, lowering or DFG hashing happens at all.  On a source
+        miss the call falls back through the frontend cache (which may still
+        hold the token stream, AST or lowered DFG) and then through the
+        DFG-keyed compile path, finally recording the source key so the next
+        call short-circuits.
+        """
+        from ..frontend.cache import default_frontend_cache
+        from ..frontend.lexer import source_hash
+
+        skey = (
+            source_hash(source),
+            name,
+            run_optimizer,
+            overlay.variant.name,
+            overlay.depth,
+            overlay.fixed_depth,
+            overlay.fifo_depth,
+        )
+        with self._lock:
+            key = self._source_index.get(skey)
+            if key is not None:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._source_index.move_to_end(skey)
+                    self._entries.move_to_end(key)
+                    self.stats.source_hits += 1
+                    return cached
+
+        dfg = default_frontend_cache().dfg(source, name=name, run_optimizer=run_optimizer)
+        key = CacheKey.for_mapping(dfg, overlay)
+        compiled = self._get_or_compile_keyed(key, dfg, overlay)
+        with self._lock:
+            self._source_index[skey] = key
+            while len(self._source_index) > 4 * self.capacity:
+                self._source_index.popitem(last=False)
+        return compiled
+
+    def _get_or_compile_keyed(
+        self, key: CacheKey, dfg: DFG, overlay: LinearOverlay
+    ) -> CompiledKernel:
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:

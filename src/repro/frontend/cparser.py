@@ -25,48 +25,53 @@ Calls to the intrinsic functions ``sqr``, ``abs``, ``min`` and ``max`` map to
 the corresponding DFG opcodes.  Division and data-dependent control flow are
 rejected with a :class:`~repro.errors.ParseError` — they are outside what the
 DSP-based FU supports.
+
+Incremental structure
+---------------------
+Since the compile-path overhaul the frontend is staged, and every stage is
+cached by source content hash (see :mod:`repro.frontend.cache` and
+``docs/compiler.md``):
+
+1. **lexing** (:mod:`repro.frontend.lexer`) — source text to an immutable
+   token tuple;
+2. **parsing** (:func:`parse_ast`) — tokens to an immutable
+   :class:`~repro.frontend.syntax.KernelAST`;
+3. **lowering** (:func:`lower_ast`) — AST to a fresh
+   :class:`~repro.dfg.graph.DFG` through :class:`~repro.dfg.builder.DFGBuilder`,
+   optionally running the standard optimizer.
+
+:func:`parse_c_kernel` keeps its original one-call signature but now routes
+through the process-wide :class:`~repro.frontend.cache.FrontendCache`, so
+repeated calls on unchanged source never re-lex, re-parse or re-lower.
+Lowering replays the AST in exactly the order the old single-pass parser
+built nodes, so DFG node ids — and therefore every downstream content hash —
+are unchanged.
 """
 
 from __future__ import annotations
 
-import re
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..dfg.builder import DFGBuilder
 from ..dfg.graph import DFG
 from ..dfg.opcodes import OpCode
 from ..dfg.transforms import optimize
 from ..errors import ParseError
+from .lexer import Token, tokenize
+from . import syntax
+from .syntax import KernelAST
 
-
-# ---------------------------------------------------------------------------
-# lexer
-# ---------------------------------------------------------------------------
-@dataclass(frozen=True)
-class Token:
-    kind: str
-    text: str
-    line: int
-    column: int
-
-
-_TOKEN_SPEC = [
-    ("COMMENT", r"//[^\n]*|/\*.*?\*/"),
-    ("NUMBER", r"0[xX][0-9a-fA-F]+|\d+"),
-    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
-    ("SHIFT", r"<<|>>"),
-    ("SYMBOL", r"[{}();,=*+\-&|^~]"),
-    ("NEWLINE", r"\n"),
-    ("SKIP", r"[ \t\r]+"),
-    ("MISMATCH", r"."),
+__all__ = [
+    "Token",
+    "tokenize",
+    "parse_ast",
+    "lower_ast",
+    "parse_c_kernel",
+    "INTRINSICS",
 ]
-_TOKEN_RE = re.compile(
-    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC), re.DOTALL
-)
 
-_KEYWORDS = {"int", "void", "return"}
-_INTRINSICS = {
+#: Intrinsic functions of the mini-C dialect: name -> (opcode, arity).
+INTRINSICS = {
     "sqr": (OpCode.SQR, 1),
     "abs": (OpCode.ABS, 1),
     "min": (OpCode.MIN, 2),
@@ -75,49 +80,19 @@ _INTRINSICS = {
     "mulsub": (OpCode.MULSUB, 3),
 }
 
-
-def tokenize(source: str) -> List[Token]:
-    """Split the kernel source into tokens, dropping comments and whitespace."""
-    tokens: List[Token] = []
-    line = 1
-    line_start = 0
-    for match in _TOKEN_RE.finditer(source):
-        kind = match.lastgroup or "MISMATCH"
-        text = match.group()
-        column = match.start() - line_start + 1
-        if kind == "NEWLINE":
-            line += 1
-            line_start = match.end()
-            continue
-        if kind in ("SKIP", "COMMENT"):
-            line += text.count("\n")
-            if "\n" in text:
-                line_start = match.start() + text.rfind("\n") + 1
-            continue
-        if kind == "MISMATCH":
-            raise ParseError(f"unexpected character {text!r}", line, column)
-        if kind == "IDENT" and text in _KEYWORDS:
-            kind = "KEYWORD"
-        tokens.append(Token(kind, text, line, column))
-    tokens.append(Token("EOF", "", line, 0))
-    return tokens
+# Backwards-compatible alias (pre-overhaul name).
+_INTRINSICS = INTRINSICS
 
 
 # ---------------------------------------------------------------------------
-# parser
+# parser: tokens -> AST
 # ---------------------------------------------------------------------------
 class _Parser:
-    """Recursive-descent parser building the DFG while it parses."""
+    """Recursive-descent parser producing an immutable :class:`KernelAST`."""
 
-    def __init__(self, tokens: List[Token], name: Optional[str] = None):
-        self.tokens = tokens
+    def __init__(self, tokens: Sequence[Token]):
+        self.tokens = list(tokens)
         self.position = 0
-        self.builder: Optional[DFGBuilder] = None
-        self.kernel_name = name
-        self.symbols: Dict[str, int] = {}
-        self.output_params: List[str] = []
-        self.outputs_written: Dict[str, int] = {}
-        self.returned: Optional[int] = None
 
     # -- token helpers ------------------------------------------------------
     def peek(self, offset: int = 0) -> Token:
@@ -143,28 +118,26 @@ class _Parser:
             return self.advance()
         return None
 
-    # -- grammar --------------------------------------------------------------
-    def parse_kernel(self) -> DFG:
+    # -- grammar ------------------------------------------------------------
+    def parse_kernel(self) -> KernelAST:
+        """Parse one complete kernel function into an AST."""
         self.expect("KEYWORD")  # return type: int or void
         name_token = self.expect("IDENT")
-        if self.kernel_name is None:
-            self.kernel_name = name_token.text
-        self.builder = DFGBuilder(self.kernel_name)
         self.expect("SYMBOL", "(")
-        self._parse_params()
+        params = self._parse_params()
         self.expect("SYMBOL", ")")
         self.expect("SYMBOL", "{")
+        body: List[syntax.Stmt] = []
         while not self.accept("SYMBOL", "}"):
             if self.peek().kind == "EOF":
                 raise ParseError("unexpected end of input inside kernel body")
-            self._parse_statement()
-        self._finish_outputs()
-        return self.builder.build()
+            body.append(self._parse_statement())
+        return KernelAST(name=name_token.text, params=tuple(params), body=tuple(body))
 
-    def _parse_params(self) -> None:
-        assert self.builder is not None
+    def _parse_params(self) -> List[syntax.Param]:
+        params: List[syntax.Param] = []
         if self.peek().kind == "SYMBOL" and self.peek().text == ")":
-            return
+            return params
         while True:
             keyword = self.expect("KEYWORD")
             if keyword.text not in ("int", "void"):
@@ -175,15 +148,19 @@ class _Parser:
                 )
             is_pointer = bool(self.accept("SYMBOL", "*"))
             ident = self.expect("IDENT")
-            if is_pointer:
-                self.output_params.append(ident.text)
-            else:
-                self.symbols[ident.text] = self.builder.input(ident.text)
+            params.append(
+                syntax.Param(
+                    name=ident.text,
+                    is_pointer=is_pointer,
+                    line=ident.line,
+                    column=ident.column,
+                )
+            )
             if not self.accept("SYMBOL", ","):
                 break
+        return params
 
-    def _parse_statement(self) -> None:
-        assert self.builder is not None
+    def _parse_statement(self) -> syntax.Stmt:
         token = self.peek()
         if token.kind == "KEYWORD" and token.text == "int":
             self.advance()
@@ -191,132 +168,97 @@ class _Parser:
             self.expect("SYMBOL", "=")
             value = self._parse_expression()
             self.expect("SYMBOL", ";")
-            self.symbols[ident.text] = value
-            return
+            return syntax.Declaration(
+                name=ident.text, expr=value, line=ident.line, column=ident.column
+            )
         if token.kind == "KEYWORD" and token.text == "return":
             self.advance()
             value = self._parse_expression()
             self.expect("SYMBOL", ";")
-            if self.returned is not None:
-                raise ParseError("multiple return statements", token.line, token.column)
-            self.returned = value
-            return
+            return syntax.Return(expr=value, line=token.line, column=token.column)
         dereference = bool(self.accept("SYMBOL", "*"))
         ident = self.expect("IDENT")
         self.expect("SYMBOL", "=")
         value = self._parse_expression()
         self.expect("SYMBOL", ";")
-        if dereference or ident.text in self.output_params:
-            if ident.text not in self.output_params:
-                raise ParseError(
-                    f"{ident.text!r} is not an output parameter", ident.line, ident.column
-                )
-            self.outputs_written[ident.text] = value
-        else:
-            self.symbols[ident.text] = value
+        return syntax.Assignment(
+            target=ident.text,
+            dereference=dereference,
+            expr=value,
+            line=ident.line,
+            column=ident.column,
+        )
 
-    def _finish_outputs(self) -> None:
-        assert self.builder is not None
-        produced = False
-        for name in self.output_params:
-            if name in self.outputs_written:
-                self.builder.output(self.outputs_written[name], name)
-                produced = True
-        if self.returned is not None:
-            self.builder.output(self.returned, "O_return")
-            produced = True
-        if not produced:
-            raise ParseError("kernel produces no outputs (no return or *out assignment)")
-
-    # -- expressions (C precedence: * over +/- over <</>> over & ^ |) -----------
-    def _parse_expression(self) -> int:
+    # -- expressions (C precedence: * over +/- over <</>> over & ^ |) -------
+    def _parse_expression(self) -> syntax.Expr:
         return self._parse_bitor()
 
-    def _parse_bitor(self) -> int:
-        value = self._parse_bitxor()
-        while self.peek().kind == "SYMBOL" and self.peek().text == "|":
-            self.advance()
-            value = self.builder.or_(value, self._parse_bitxor())
+    def _binary_chain(self, parse_next, kinds, texts) -> syntax.Expr:
+        value = parse_next()
+        while self.peek().kind in kinds and (texts is None or self.peek().text in texts):
+            op = self.advance()
+            value = syntax.Binary(
+                op=op.text, lhs=value, rhs=parse_next(), line=op.line, column=op.column
+            )
         return value
 
-    def _parse_bitxor(self) -> int:
-        value = self._parse_bitand()
-        while self.peek().kind == "SYMBOL" and self.peek().text == "^":
-            self.advance()
-            value = self.builder.xor(value, self._parse_bitand())
-        return value
+    def _parse_bitor(self) -> syntax.Expr:
+        return self._binary_chain(self._parse_bitxor, ("SYMBOL",), ("|",))
 
-    def _parse_bitand(self) -> int:
-        value = self._parse_shift()
-        while self.peek().kind == "SYMBOL" and self.peek().text == "&":
-            self.advance()
-            value = self.builder.and_(value, self._parse_shift())
-        return value
+    def _parse_bitxor(self) -> syntax.Expr:
+        return self._binary_chain(self._parse_bitand, ("SYMBOL",), ("^",))
 
-    def _parse_shift(self) -> int:
-        value = self._parse_additive()
-        while self.peek().kind == "SHIFT":
-            op = self.advance().text
-            rhs = self._parse_additive()
-            value = self.builder.shl(value, rhs) if op == "<<" else self.builder.shr(value, rhs)
-        return value
+    def _parse_bitand(self) -> syntax.Expr:
+        return self._binary_chain(self._parse_shift, ("SYMBOL",), ("&",))
 
-    def _parse_additive(self) -> int:
-        value = self._parse_term()
-        while self.peek().kind == "SYMBOL" and self.peek().text in ("+", "-"):
-            op = self.advance().text
-            rhs = self._parse_term()
-            value = self.builder.add(value, rhs) if op == "+" else self.builder.sub(value, rhs)
-        return value
+    def _parse_shift(self) -> syntax.Expr:
+        return self._binary_chain(self._parse_additive, ("SHIFT",), None)
 
-    def _parse_term(self) -> int:
-        value = self._parse_unary()
-        while self.peek().kind == "SYMBOL" and self.peek().text == "*":
-            self.advance()
-            value = self.builder.mul(value, self._parse_unary())
-        return value
+    def _parse_additive(self) -> syntax.Expr:
+        return self._binary_chain(self._parse_term, ("SYMBOL",), ("+", "-"))
 
-    def _parse_unary(self) -> int:
+    def _parse_term(self) -> syntax.Expr:
+        return self._binary_chain(self._parse_unary, ("SYMBOL",), ("*",))
+
+    def _parse_unary(self) -> syntax.Expr:
         token = self.peek()
-        if token.kind == "SYMBOL" and token.text == "-":
+        if token.kind == "SYMBOL" and token.text in ("-", "~"):
             self.advance()
-            return self.builder.neg(self._parse_unary())
-        if token.kind == "SYMBOL" and token.text == "~":
-            self.advance()
-            return self.builder.not_(self._parse_unary())
+            return syntax.Unary(
+                op=token.text,
+                operand=self._parse_unary(),
+                line=token.line,
+                column=token.column,
+            )
         return self._parse_primary()
 
-    def _parse_primary(self) -> int:
-        assert self.builder is not None
+    def _parse_primary(self) -> syntax.Expr:
         token = self.advance()
         if token.kind == "NUMBER":
-            return self.builder.const(int(token.text, 0))
+            return syntax.IntLiteral(
+                value=int(token.text, 0), line=token.line, column=token.column
+            )
         if token.kind == "IDENT":
             if self.accept("SYMBOL", "("):
                 return self._parse_call(token)
-            if token.text not in self.symbols:
-                raise ParseError(
-                    f"use of undefined variable {token.text!r}", token.line, token.column
-                )
-            return self.symbols[token.text]
+            return syntax.Name(ident=token.text, line=token.line, column=token.column)
         if token.kind == "SYMBOL" and token.text == "(":
             value = self._parse_expression()
             self.expect("SYMBOL", ")")
             return value
         raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
 
-    def _parse_call(self, name_token: Token) -> int:
-        assert self.builder is not None
+    def _parse_call(self, name_token: Token) -> syntax.Expr:
         name = name_token.text
-        if name not in _INTRINSICS:
+        if name not in INTRINSICS:
             raise ParseError(
                 f"unknown function {name!r} (supported intrinsics: "
-                f"{', '.join(sorted(_INTRINSICS))})",
+                f"{', '.join(sorted(INTRINSICS))})",
                 name_token.line,
                 name_token.column,
             )
-        opcode, arity = _INTRINSICS[name]
-        args: List[int] = []
+        _, arity = INTRINSICS[name]
+        args: List[syntax.Expr] = []
         if not self.accept("SYMBOL", ")"):
             while True:
                 args.append(self._parse_expression())
@@ -329,13 +271,162 @@ class _Parser:
                 name_token.line,
                 name_token.column,
             )
+        return syntax.Call(
+            func=name, args=tuple(args), line=name_token.line, column=name_token.column
+        )
+
+
+def parse_ast(source: str) -> KernelAST:
+    """Parse mini-C source into an immutable AST (no caching, no DFG).
+
+    This is the pure parsing stage of the incremental frontend; most callers
+    want :func:`parse_c_kernel`, which adds content-hash caching and lowering.
+    """
+    return _Parser(tokenize(source)).parse_kernel()
+
+
+def parse_ast_from_tokens(tokens: Sequence[Token]) -> KernelAST:
+    """Parse a pre-lexed token stream (the frontend cache's entry point)."""
+    return _Parser(tokens).parse_kernel()
+
+
+# ---------------------------------------------------------------------------
+# lowering: AST -> DFG
+# ---------------------------------------------------------------------------
+class _Lowering:
+    """Replays a :class:`KernelAST` into a DFG via :class:`DFGBuilder`.
+
+    Node creation order matches the old parse-time builder exactly (params in
+    declaration order, then statements in order, expressions depth-first and
+    left-to-right), so lowering a cached AST produces bit-identical DFGs —
+    and therefore identical downstream compile-cache keys.
+    """
+
+    def __init__(self, ast: KernelAST, name: Optional[str] = None):
+        self.ast = ast
+        self.builder = DFGBuilder(name or ast.name)
+        self.symbols: Dict[str, int] = {}
+        self.output_params: List[str] = []
+        self.outputs_written: Dict[str, int] = {}
+        self.returned: Optional[int] = None
+
+    def lower(self) -> DFG:
+        """Build and validate the DFG for the held AST."""
+        for param in self.ast.params:
+            if param.is_pointer:
+                self.output_params.append(param.name)
+            else:
+                self.symbols[param.name] = self.builder.input(param.name)
+        for stmt in self.ast.body:
+            self._lower_statement(stmt)
+        self._finish_outputs()
+        return self.builder.build()
+
+    # -- statements ---------------------------------------------------------
+    def _lower_statement(self, stmt: syntax.Stmt) -> None:
+        if isinstance(stmt, syntax.Declaration):
+            self.symbols[stmt.name] = self._lower_expr(stmt.expr)
+            return
+        if isinstance(stmt, syntax.Return):
+            value = self._lower_expr(stmt.expr)
+            if self.returned is not None:
+                raise ParseError("multiple return statements", stmt.line, stmt.column)
+            self.returned = value
+            return
+        assert isinstance(stmt, syntax.Assignment)
+        value = self._lower_expr(stmt.expr)
+        if stmt.dereference or stmt.target in self.output_params:
+            if stmt.target not in self.output_params:
+                raise ParseError(
+                    f"{stmt.target!r} is not an output parameter", stmt.line, stmt.column
+                )
+            self.outputs_written[stmt.target] = value
+        else:
+            self.symbols[stmt.target] = value
+
+    def _finish_outputs(self) -> None:
+        produced = False
+        for name in self.output_params:
+            if name in self.outputs_written:
+                self.builder.output(self.outputs_written[name], name)
+                produced = True
+        if self.returned is not None:
+            self.builder.output(self.returned, "O_return")
+            produced = True
+        if not produced:
+            raise ParseError("kernel produces no outputs (no return or *out assignment)")
+
+    # -- expressions --------------------------------------------------------
+    _BINARY_BUILDERS = {
+        "|": "or_",
+        "^": "xor",
+        "&": "and_",
+        "<<": "shl",
+        ">>": "shr",
+        "+": "add",
+        "-": "sub",
+        "*": "mul",
+    }
+
+    def _lower_expr(self, expr: syntax.Expr) -> int:
+        if isinstance(expr, syntax.IntLiteral):
+            return self.builder.const(expr.value)
+        if isinstance(expr, syntax.Name):
+            if expr.ident not in self.symbols:
+                raise ParseError(
+                    f"use of undefined variable {expr.ident!r}", expr.line, expr.column
+                )
+            return self.symbols[expr.ident]
+        if isinstance(expr, syntax.Unary):
+            operand = self._lower_expr(expr.operand)
+            return self.builder.neg(operand) if expr.op == "-" else self.builder.not_(operand)
+        if isinstance(expr, syntax.Binary):
+            lhs = self._lower_expr(expr.lhs)
+            rhs = self._lower_expr(expr.rhs)
+            return getattr(self.builder, self._BINARY_BUILDERS[expr.op])(lhs, rhs)
+        assert isinstance(expr, syntax.Call)
+        opcode, _ = INTRINSICS[expr.func]
+        args = [self._lower_expr(a) for a in expr.args]
         return self.builder.op(opcode, *args)
 
 
+def lower_ast(
+    ast: KernelAST, name: Optional[str] = None, run_optimizer: bool = True
+) -> DFG:
+    """Lower a parsed kernel AST into a fresh DFG.
+
+    Parameters
+    ----------
+    ast:
+        A :class:`KernelAST` from :func:`parse_ast` (or the frontend cache).
+    name:
+        Override the kernel name (defaults to the C function name).
+    run_optimizer:
+        Apply the standard optimization pipeline to the lowered graph,
+        mirroring what the HLS frontend would produce.
+
+    Raises
+    ------
+    ParseError
+        On semantic errors: undefined variables, writes through non-output
+        pointers, multiple ``return`` statements, or a kernel that produces
+        no outputs.
+    """
+    dfg = _Lowering(ast, name=name).lower()
+    if run_optimizer:
+        optimized = optimize(dfg)
+        optimized.name = dfg.name
+        return optimized
+    return dfg
+
+
+# ---------------------------------------------------------------------------
+# public entry point
+# ---------------------------------------------------------------------------
 def parse_c_kernel(
     source: str, name: Optional[str] = None, run_optimizer: bool = True
 ) -> DFG:
-    """Parse a mini-C kernel into a DFG.
+    """Parse a mini-C kernel into a DFG (cached by source content hash).
 
     Parameters
     ----------
@@ -346,11 +437,14 @@ def parse_c_kernel(
     run_optimizer:
         Apply the standard optimization pipeline to the extracted graph,
         mirroring what the HLS frontend would produce.
+
+    Repeated calls with byte-identical source hit the process-wide
+    :class:`~repro.frontend.cache.FrontendCache` — token stream, AST and the
+    lowered DFG are all memoised, and a fresh :meth:`~repro.dfg.graph.DFG.copy`
+    is returned each time so callers can annotate/transform freely.  Any edit
+    to the source changes its hash and recompiles from the stage that
+    actually changed.
     """
-    parser = _Parser(tokenize(source), name=name)
-    dfg = parser.parse_kernel()
-    if run_optimizer:
-        optimized = optimize(dfg)
-        optimized.name = dfg.name
-        return optimized
-    return dfg
+    from .cache import default_frontend_cache
+
+    return default_frontend_cache().dfg(source, name=name, run_optimizer=run_optimizer)

@@ -120,15 +120,19 @@ class Value:
 
     # -- convenience named ops ------------------------------------------------
     def sqr(self) -> "Value":
+        """Square this value with the FU's single-operand SQR opcode."""
         return self._unary(OpCode.SQR)
 
     def abs(self) -> "Value":
+        """Absolute value (the FU's ABS opcode)."""
         return self._unary(OpCode.ABS)
 
     def min(self, other: Operand) -> "Value":
+        """Minimum of this value and ``other`` (the FU's MIN opcode)."""
         return self._binary(OpCode.MIN, other)
 
     def max(self, other: Operand) -> "Value":
+        """Maximum of this value and ``other`` (the FU's MAX opcode)."""
         return self._binary(OpCode.MAX, other)
 
     # -- guard rails ------------------------------------------------------------
@@ -153,15 +157,18 @@ class KernelTracer:
         self._constants: dict = {}
 
     def input(self, name: str = "") -> Value:
+        """Create a primary-input value for the kernel being traced."""
         return Value(self, self.builder.input(name))
 
     def constant(self, value: int) -> Value:
+        """Intern an integer constant (one DFG node per distinct value)."""
         value = int(value)
         if value not in self._constants:
             self._constants[value] = self.builder.const(value)
         return Value(self, self._constants[value])
 
     def as_value(self, operand: Operand) -> Value:
+        """Coerce an operand (symbolic value or plain int) into a `Value`."""
         if isinstance(operand, Value):
             if operand.tracer is not self:
                 raise TraceError("cannot mix values from different tracers")
@@ -174,9 +181,11 @@ class KernelTracer:
         return self.constant(operand)
 
     def output(self, value: Operand, name: str = "") -> None:
+        """Mark a traced value as a kernel output."""
         self.builder.output(self.as_value(value).node_id, name)
 
     def finish(self, validate: bool = True) -> DFG:
+        """Finish tracing and return the (optionally validated) DFG."""
         return self.builder.build(validate=validate)
 
 

@@ -11,9 +11,12 @@ the substitution rationale.
 
 from .library import (
     BENCHMARK_NAMES,
+    KERNEL_C_SOURCES,
     TABLE3_BENCHMARKS,
     all_benchmarks,
+    clear_kernel_cache,
     get_kernel,
+    get_kernel_source,
     kernel_names,
 )
 from .characteristics import (
@@ -26,9 +29,12 @@ from .generators import dfg_from_level_profile, random_dfg, polynomial_kernel
 
 __all__ = [
     "BENCHMARK_NAMES",
+    "KERNEL_C_SOURCES",
     "TABLE3_BENCHMARKS",
     "all_benchmarks",
+    "clear_kernel_cache",
     "get_kernel",
+    "get_kernel_source",
     "kernel_names",
     "PAPER_CHARACTERISTICS",
     "PAPER_TABLE3_II",

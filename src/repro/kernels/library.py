@@ -21,7 +21,12 @@ half of Table III) match the published values exactly.  The test suite
 asserts this against :mod:`repro.kernels.characteristics`.
 
 Kernels are built lazily and cached; :func:`get_kernel` returns a fresh copy
-each call so callers can annotate/transform freely.
+each call so callers can annotate/transform freely.  The mini-C kernels
+additionally flow through the content-hashed frontend cache
+(:mod:`repro.frontend.cache`), so their token streams and ASTs are shared
+with any other consumer of the same source — :func:`get_kernel_source`
+exposes the sources, and :func:`clear_kernel_cache` resets the library layer
+(the compile-path benchmark uses it to measure cold compiles).
 """
 
 from __future__ import annotations
@@ -63,6 +68,36 @@ int chebyshev(int x) {
     return t6 * x;
 }
 """
+
+
+#: Mini-C sources of the kernels defined through the C frontend.  These are
+#: the inputs of the end-to-end compile cache's source fast path — see
+#: :meth:`repro.engine.cache.ScheduleCache.get_or_compile_source`.
+KERNEL_C_SOURCES: Dict[str, str] = {
+    "gradient": GRADIENT_C_SOURCE,
+    "chebyshev": CHEBYSHEV_C_SOURCE,
+}
+
+
+def get_kernel_source(name: str) -> str:
+    """Return the mini-C source of a library kernel defined through C.
+
+    Raises
+    ------
+    KernelError
+        If the kernel is unknown or was not defined from C source (the
+        traced and profile-reconstructed kernels have no C text).
+    """
+    if name in KERNEL_C_SOURCES:
+        return KERNEL_C_SOURCES[name]
+    if name in _BUILDERS:
+        raise KernelError(
+            f"kernel {name!r} is not defined from C source; kernels with "
+            f"sources: {', '.join(sorted(KERNEL_C_SOURCES))}"
+        )
+    raise KernelError(
+        f"unknown kernel {name!r}; available: {', '.join(BENCHMARK_NAMES)}"
+    )
 
 
 def _build_gradient() -> DFG:
@@ -221,6 +256,17 @@ _CACHE: Dict[str, DFG] = {}
 def kernel_names() -> List[str]:
     """Names of all available benchmark kernels."""
     return list(BENCHMARK_NAMES)
+
+
+def clear_kernel_cache() -> None:
+    """Drop the library's built-DFG cache (cold-compile benchmarking hook).
+
+    Only the library layer is cleared; the frontend and compiled-schedule
+    caches have their own ``clear`` methods
+    (:func:`repro.frontend.cache.default_frontend_cache` and
+    :func:`repro.engine.cache.default_cache`).
+    """
+    _CACHE.clear()
 
 
 def get_kernel(name: str) -> DFG:

@@ -27,7 +27,7 @@ from ..errors import ConfigurationError
 from ..overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
 from ..overlay.fu import get_variant
 from ..overlay.resources import estimate_resources
-from ..schedule import analytic_ii, schedule_kernel
+from ..schedule import analytic_ii
 from ..schedule.types import OverlaySchedule
 from ..sim.overlay import simulate_schedule
 
@@ -122,9 +122,24 @@ def evaluate_kernel(
     With ``simulate=True`` the cycle-accurate simulator provides the latency
     and a measured II (and verifies functional correctness); otherwise the
     analytic models are used throughout.
+
+    The mapping goes through the process-wide compiled-schedule cache
+    (:func:`repro.engine.cache.default_cache`), so evaluating the same
+    kernel/overlay pair repeatedly — sweeps, Table III regeneration, the
+    warm path of :func:`repro.map_kernel` — schedules it exactly once.
     """
+    from ..engine.cache import default_cache
+    from ..errors import CodegenError
+    from ..schedule import schedule_kernel
+
     overlay = overlay_for(variant, dfg, fixed_depth=fixed_depth)
-    schedule = schedule_kernel(dfg, overlay)
+    try:
+        schedule = default_cache().get_or_compile(dfg, overlay).schedule
+    except CodegenError:  # covers RegisterAllocationError/EncodingError too
+        # Analytic-only evaluation must keep working for kernels that
+        # schedule but exceed the variant's register file or instruction
+        # memory; only the cached full compile needs those stages.
+        schedule = schedule_kernel(dfg, overlay)
     resources = estimate_resources(overlay)
     ii = analytic_ii(schedule)
 

@@ -4,8 +4,9 @@ The last step of the paper's mapping flow ("lastly the 32-bit FU instructions
 are generated"):
 
 * :mod:`repro.program.regalloc` — allocate register-file addresses to the
-  values each FU keeps resident (loads, constants, written-back results) and
-  check the kernel fits the RAM32M register file.
+  values each FU keeps resident (loads, constants, written-back results) via
+  a linear scan over live intervals, and check the kernel fits the RAM32M
+  register file.
 * :mod:`repro.program.codegen` — translate each stage's slot list into
   bit-exact :class:`~repro.overlay.isa.Instruction` words plus the load map
   the stream interface uses.
@@ -14,13 +15,24 @@ are generated"):
   (its size feeds the context-switch model).
 """
 
-from .regalloc import RegisterAllocation, allocate_registers
+from .regalloc import (
+    LiveInterval,
+    RegisterAllocation,
+    allocate_registers,
+    allocate_registers_reference,
+    compute_live_intervals,
+    stage_footprint,
+)
 from .codegen import FUProgram, OverlayProgram, generate_program
 from .binary import ConfigurationImage, build_configuration_image
 
 __all__ = [
+    "LiveInterval",
     "RegisterAllocation",
     "allocate_registers",
+    "allocate_registers_reference",
+    "compute_live_intervals",
+    "stage_footprint",
     "FUProgram",
     "OverlayProgram",
     "generate_program",

@@ -45,14 +45,17 @@ class ConfigurationImage:
     # ------------------------------------------------------------------
     @property
     def num_fus(self) -> int:
+        """Number of FU sections in the image (the overlay depth)."""
         return len(self.fu_instruction_words)
 
     @property
     def total_instruction_words(self) -> int:
+        """Instruction payload across all FUs, in 32-bit words."""
         return sum(len(words) for words in self.fu_instruction_words)
 
     @property
     def total_constant_words(self) -> int:
+        """Constant payload across all FUs (address + value pairs), in words."""
         return sum(len(consts) * 2 for consts in self.fu_constants)
 
     @property
@@ -63,10 +66,12 @@ class ConfigurationImage:
 
     @property
     def size_bytes(self) -> int:
+        """Image size in bytes (what the context-switch model charges)."""
         return self.total_words * 4
 
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
+        """Serialise the image to its on-wire byte layout (see module docs)."""
         payload = bytearray(_WORD.pack(_MAGIC))
         for fu_index, words in enumerate(self.fu_instruction_words):
             constants = self.fu_constants[fu_index]
@@ -80,6 +85,7 @@ class ConfigurationImage:
 
     @classmethod
     def from_bytes(cls, data: bytes, kernel_name: str = "", overlay_name: str = "") -> "ConfigurationImage":
+        """Parse a serialised image; raises ``EncodingError`` on bad data."""
         if len(data) < 4 or _WORD.unpack_from(data, 0)[0] != _MAGIC:
             raise EncodingError("not a valid overlay configuration image")
         offset = 4

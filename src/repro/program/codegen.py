@@ -38,9 +38,11 @@ class FUProgram:
 
     @property
     def num_instruction_words(self) -> int:
+        """Instruction-memory entries this FU's program occupies."""
         return len(self.instructions)
 
     def encoded_words(self) -> List[int]:
+        """The program as raw 32-bit instruction words."""
         return [encode_instruction(i) for i in self.instructions]
 
     def listing(self) -> str:
@@ -63,13 +65,16 @@ class OverlayProgram:
 
     @property
     def total_instruction_words(self) -> int:
+        """Instruction words across every FU (configuration-size driver)."""
         return sum(p.num_instruction_words for p in self.fu_programs)
 
     @property
     def max_instructions_per_fu(self) -> int:
+        """Largest per-FU program (bounds the instruction-memory depth)."""
         return max((p.num_instruction_words for p in self.fu_programs), default=0)
 
     def listing(self) -> str:
+        """Assembly-style listing of every FU program (CLI ``--program``)."""
         return "\n".join(p.listing() for p in self.fu_programs)
 
 

@@ -183,9 +183,36 @@ class OverlayRuntime:
         instead of re-running the mapping flow.
         """
         dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
-        kernel_name = name or dfg.name
         overlay = self._overlay_for(dfg)
         compiled = self.cache.get_or_compile(dfg, overlay)
+        return self._register_compiled(name or dfg.name, compiled)
+
+    def register_source(self, source: str, name: Optional[str] = None) -> KernelHandle:
+        """Compile a mini-C kernel source end-to-end and register it.
+
+        This is the full ``source → AST → DFG → schedule → binary`` chain:
+        the frontend stages go through the content-hashed frontend cache
+        (:mod:`repro.frontend.cache`) and the mapping flow through this
+        runtime's compiled-schedule cache via its source fast path
+        (:meth:`~repro.engine.cache.ScheduleCache.get_or_compile_source`),
+        so registering unchanged source — here or in any other runtime of
+        the process — reuses every artefact without even re-hashing the DFG.
+        Any edit to the source recompiles only from the stage it invalidates.
+        """
+        from ..frontend.cache import default_frontend_cache
+
+        if self.variant.write_back:
+            # Fixed-depth overlays need nothing from the DFG to size the
+            # fabric, so the warm path here is a pure source-index lookup.
+            overlay = LinearOverlay.fixed(self.variant, self._depth)
+        else:
+            dfg = default_frontend_cache().dfg(source, name=name)
+            overlay = LinearOverlay.for_kernel(self.variant, dfg)
+        compiled = self.cache.get_or_compile_source(source, overlay, name=name)
+        return self._register_compiled(name or compiled.schedule.dfg.name, compiled)
+
+    def _register_compiled(self, kernel_name: str, compiled) -> KernelHandle:
+        """Wrap cached compile artefacts in a handle and record it."""
         handle = KernelHandle(
             name=kernel_name,
             dfg=compiled.schedule.dfg,

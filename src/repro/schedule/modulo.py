@@ -73,6 +73,7 @@ class ModuloSchedule:
         return (max(self.start_slots.values()) + 1) if self.start_slots else 0
 
     def operations_in_modulo_slot(self, slot: int) -> List[int]:
+        """Operations issued in modulo slot ``slot`` (0 <= slot < II)."""
         return [n for n, t in self.start_slots.items() if t % self.ii == slot]
 
     def validate(self, dfg: DFG) -> List[str]:

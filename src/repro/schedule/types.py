@@ -67,10 +67,12 @@ class ScheduledOp:
 
     @classmethod
     def nop(cls) -> "ScheduledOp":
+        """An idle slot (IWP spacing on fixed-depth overlays)."""
         return cls(kind=SlotKind.NOP, opcode=OpCode.NOP, forward=False)
 
     @classmethod
     def passthrough(cls, value_id: int) -> "ScheduledOp":
+        """A slot that forwards a transiting value to the next stage."""
         return cls(
             kind=SlotKind.PASS,
             value_id=value_id,
@@ -80,6 +82,7 @@ class ScheduledOp:
 
     @property
     def is_nop(self) -> bool:
+        """Whether this slot does nothing (no read, no emit)."""
         return self.kind is SlotKind.NOP
 
     @property
@@ -122,6 +125,7 @@ class StageSchedule:
     # -- counts used by the II models ---------------------------------------
     @property
     def num_loads(self) -> int:
+        """Values arriving from the upstream FIFO each iteration."""
         return len(self.load_order)
 
     @property
@@ -131,14 +135,17 @@ class StageSchedule:
 
     @property
     def num_computes(self) -> int:
+        """Slots executing a DFG operation (the paper's per-FU ``#op``)."""
         return sum(1 for s in self.slots if s.kind is SlotKind.COMPUTE)
 
     @property
     def num_passes(self) -> int:
+        """Slots forwarding transiting values (linear-interconnect cost)."""
         return sum(1 for s in self.slots if s.kind is SlotKind.PASS)
 
     @property
     def num_nops(self) -> int:
+        """Idle slots inserted for IWP spacing."""
         return sum(1 for s in self.slots if s.kind is SlotKind.NOP)
 
     @property
@@ -148,6 +155,7 @@ class StageSchedule:
 
     @property
     def write_back_values(self) -> List[int]:
+        """Values this stage writes back into its own register file."""
         return [
             s.value_id for s in self.slots if s.write_back and s.value_id is not None
         ]
@@ -180,14 +188,17 @@ class OverlaySchedule:
     # ------------------------------------------------------------------
     @property
     def variant(self):
+        """The overlay's FU variant (Table I)."""
         return self.overlay.variant
 
     @property
     def depth(self) -> int:
+        """Number of FUs (stages) in the overlay."""
         return self.overlay.depth
 
     @property
     def kernel_name(self) -> str:
+        """Name of the scheduled kernel (the DFG's name)."""
         return self.dfg.name
 
     @property
@@ -197,13 +208,16 @@ class OverlaySchedule:
 
     @property
     def total_loads(self) -> int:
+        """FIFO loads per iteration summed over every stage."""
         return sum(stage.num_loads for stage in self.stages)
 
     @property
     def total_nops(self) -> int:
+        """IWP NOPs summed over every stage."""
         return sum(stage.num_nops for stage in self.stages)
 
     def stage(self, index: int) -> StageSchedule:
+        """The per-iteration program of FU ``index``."""
         return self.stages[index]
 
     def constants_used(self, stage_index: int) -> List[int]:

@@ -114,3 +114,24 @@ class TestDFGQueries:
         ops = gradient.operations()
         assert all(o.is_operation for o in ops)
         assert len(ops) == 11
+
+
+class TestTopologicalOrder:
+    def test_matches_networkx_lexicographic_sort(self, gradient, diamond_dfg):
+        import networkx as nx
+
+        for dfg in (gradient, diamond_dfg):
+            expected = list(nx.lexicographical_topological_sort(dfg.to_networkx()))
+            assert dfg.topological_order() == expected
+
+    def test_memo_invalidated_by_add_node(self, diamond_dfg):
+        before = diamond_dfg.topological_order()
+        diamond_dfg.new_node(OpCode.INPUT)
+        after = diamond_dfg.topological_order()
+        assert len(after) == len(before) + 1
+
+    def test_survives_pre_memo_pickles(self, gradient):
+        """DFGs unpickled from an old REPRO_CACHE_DIR lack _topo_cache."""
+        expected = gradient.topological_order()
+        del gradient.__dict__["_topo_cache"]
+        assert gradient.topological_order() == expected

@@ -1,0 +1,135 @@
+"""Documentation checks: markdown link validation and example compile-check.
+
+This is the ``docs`` CI gate of the compile-path PR: it fails when a relative
+link in ``README.md`` or ``docs/`` points at a missing file or heading, when
+a required documentation page disappears, or when an ``examples/*.py`` script
+stops being valid Python.  Run it alone with::
+
+    python -m pytest tests/test_docs.py
+"""
+
+import os
+import py_compile
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+#: Pages the documentation site must always provide.
+REQUIRED_PAGES = [
+    os.path.join(REPO_ROOT, "README.md"),
+    os.path.join(DOCS_DIR, "architecture.md"),
+    os.path.join(DOCS_DIR, "compiler.md"),
+    os.path.join(DOCS_DIR, "engine.md"),
+]
+
+_LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+
+
+def _markdown_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    if os.path.isdir(DOCS_DIR):
+        for name in sorted(os.listdir(DOCS_DIR)):
+            if name.endswith(".md"):
+                files.append(os.path.join(DOCS_DIR, name))
+    return files
+
+
+def _read(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _links(path):
+    """All inline markdown links of a file, with fenced code blocks removed."""
+    text = _FENCE_RE.sub("", _read(path))
+    return [(text_label, target) for text_label, target in _LINK_RE.findall(text)]
+
+
+def _github_slug(heading):
+    """GitHub-style anchor slug of a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(path):
+    return {_github_slug(title) for _, title in _HEADING_RE.findall(_read(path))}
+
+
+class TestRequiredPages:
+    @pytest.mark.parametrize(
+        "page", REQUIRED_PAGES, ids=[os.path.basename(p) for p in REQUIRED_PAGES]
+    )
+    def test_page_exists_and_is_nonempty(self, page):
+        assert os.path.isfile(page), f"missing documentation page: {page}"
+        assert len(_read(page).strip()) > 200, f"{page} is a stub"
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize(
+        "md_file", _markdown_files(), ids=[os.path.basename(p) for p in _markdown_files()]
+    )
+    def test_relative_links_resolve(self, md_file):
+        problems = []
+        for label, target in _links(md_file):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md_file), path_part)
+                )
+                if not os.path.exists(resolved):
+                    problems.append(f"[{label}]({target}) -> missing file {resolved}")
+                    continue
+            else:
+                resolved = md_file
+            if anchor and resolved.endswith(".md"):
+                if anchor not in _anchors(resolved):
+                    problems.append(f"[{label}]({target}) -> missing heading #{anchor}")
+        assert not problems, "broken links in {}:\n  {}".format(
+            os.path.basename(md_file), "\n  ".join(problems)
+        )
+
+    def test_every_docs_page_is_reachable_from_readme(self):
+        readme_targets = {
+            os.path.normpath(os.path.join(REPO_ROOT, target.partition("#")[0]))
+            for _, target in _links(os.path.join(REPO_ROOT, "README.md"))
+            if not re.match(r"^[a-z][a-z0-9+.-]*:", target)
+        }
+        for name in sorted(os.listdir(DOCS_DIR)):
+            if name.endswith(".md"):
+                page = os.path.normpath(os.path.join(DOCS_DIR, name))
+                assert page in readme_targets, f"docs/{name} is not linked from README.md"
+
+
+def _example_files():
+    return sorted(
+        os.path.join(EXAMPLES_DIR, name)
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    )
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "example", _example_files(), ids=[os.path.basename(p) for p in _example_files()]
+    )
+    def test_example_compiles(self, example, tmp_path):
+        py_compile.compile(
+            example, cfile=str(tmp_path / "example.pyc"), doraise=True
+        )
+
+    @pytest.mark.parametrize(
+        "example", _example_files(), ids=[os.path.basename(p) for p in _example_files()]
+    )
+    def test_example_has_run_instructions(self, example):
+        text = _read(example)
+        assert "Run with:" in text, f"{example} lacks a 'Run with:' header line"
