@@ -1,0 +1,107 @@
+"""Deep-kernel steady-state gate: occupancy detector vs the legacy detector.
+
+The paper's fixed-depth write-back overlays (V3-V5, Fig. 6 deep kernels,
+Table III) are exactly where the legacy whole-machine fingerprint needs
+O(fifo_depth x depth) warm-up blocks before it can fast-forward — the one
+open perf item after the PR-1 engine work.  This harness runs depth-8
+sweeps of the deepest library kernels on V3/V4/V5 at the default FIFO depth
+(32, the worst fill transient) with both detectors and **gates a >= 3x
+speedup** of the occupancy detector over the legacy one, recording the
+ratio into ``BENCH_results.json`` next to the wall-clock timings.
+
+The two detectors must also produce bit-identical measurements — the gate
+is only meaningful if the early skip changes nothing observable.
+"""
+
+import time
+
+from repro.engine.cache import default_cache
+from repro.engine.fastsim import FastSimulator
+from repro.kernels import get_kernel
+from repro.kernels.reference import random_input_blocks
+from repro.overlay.architecture import LinearOverlay
+
+#: The deepest library kernels (13 and 11 DFG levels folded onto 8 FUs).
+DEEP_KERNELS = ("poly7", "poly8")
+VARIANTS = ("v3", "v4", "v5")
+OVERLAY_DEPTH = 8
+FIFO_DEPTH = 32
+#: Longer than the fill transient of every case (the occupancy detector's
+#: cycle-accurate work saturates well below this) while the legacy detector
+#: is still paying the full O(fifo_depth x depth) warm-up on the worst
+#: cases; matches the scale of the Fig. 5 simulated sweep (512/point).
+NUM_BLOCKS = 768
+#: The gate: occupancy must beat legacy by at least this factor.
+MIN_SPEEDUP = 3.0
+ROUNDS = 3
+
+COMPARED_FIELDS = (
+    "completion_cycles",
+    "total_cycles",
+    "measured_ii",
+    "fu_stats",
+    "fifo_high_water",
+)
+
+
+def _cases():
+    cases = []
+    for name in DEEP_KERNELS:
+        for variant in VARIANTS:
+            dfg = get_kernel(name)
+            overlay = LinearOverlay.fixed(variant, OVERLAY_DEPTH, fifo_depth=FIFO_DEPTH)
+            schedule = default_cache().get_or_compile(dfg, overlay).schedule
+            blocks = random_input_blocks(schedule.dfg, NUM_BLOCKS, seed=17)
+            cases.append((name, variant, schedule, blocks))
+    return cases
+
+
+def _run_grid(cases, detector):
+    elapsed = 0.0
+    results = []
+    for _name, _variant, schedule, blocks in cases:
+        simulator = FastSimulator(schedule, detector=detector)
+        started = time.perf_counter()
+        results.append(simulator.run(blocks))
+        elapsed += time.perf_counter() - started
+    return elapsed, results
+
+
+def test_deep_steady_state_speedup_gate(save_result, record_metric):
+    cases = _cases()
+    # Warm both code paths once, then take the best of a few rounds so the
+    # gate measures the detectors, not scheduler noise; the last round's
+    # results double as the equivalence cross-check.
+    _run_grid(cases, "occupancy")
+    _run_grid(cases, "legacy")
+    occupancy_s = float("inf")
+    legacy_s = float("inf")
+    for _ in range(ROUNDS):
+        elapsed, occupancy_results = _run_grid(cases, "occupancy")
+        occupancy_s = min(occupancy_s, elapsed)
+    for _ in range(ROUNDS):
+        elapsed, legacy_results = _run_grid(cases, "legacy")
+        legacy_s = min(legacy_s, elapsed)
+
+    for (name, variant, _schedule, _blocks), occ, leg in zip(
+        cases, occupancy_results, legacy_results
+    ):
+        for field in COMPARED_FIELDS:
+            assert getattr(occ, field) == getattr(leg, field), (
+                f"{name}/{variant}: detectors disagree on {field}"
+            )
+
+    speedup = legacy_s / occupancy_s
+    lines = [
+        f"deep-kernel depth-{OVERLAY_DEPTH} V3-V5 sweep, fifo_depth={FIFO_DEPTH}, "
+        f"{NUM_BLOCKS} blocks/point, {len(cases)} points",
+        f"  legacy detector   : {legacy_s:8.4f} s",
+        f"  occupancy detector: {occupancy_s:8.4f} s",
+        f"  speedup           : {speedup:8.2f}x (gate: >= {MIN_SPEEDUP}x)",
+    ]
+    save_result("deep_steady_state", "\n".join(lines))
+    record_metric("deep_steady_state::speedup_vs_legacy", speedup)
+    assert speedup >= MIN_SPEEDUP, (
+        f"occupancy detector only {speedup:.2f}x faster than legacy "
+        f"(gate {MIN_SPEEDUP}x) on the deep fixed-depth sweep"
+    )

@@ -8,7 +8,9 @@ and can be diffed against EXPERIMENTS.md.
 The session also emits machine-readable wall-clock timings to
 ``benchmarks/results/BENCH_results.json`` (bench name -> seconds for the call
 phase of every ``bench_*`` test), so the performance trajectory across PRs is
-diffable without parsing pytest-benchmark's console output.
+diffable without parsing pytest-benchmark's console output.  Benches can also
+record named metrics (speedup ratios, gate values) into the same file through
+the ``record_metric`` fixture.
 """
 
 import json
@@ -20,6 +22,7 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BENCH_TIMINGS_PATH = os.path.join(RESULTS_DIR, "BENCH_results.json")
 
 _timings = {}
+_metrics = {}
 
 
 @pytest.fixture(scope="session")
@@ -42,6 +45,21 @@ def save_result(results_dir):
     return _save
 
 
+@pytest.fixture
+def record_metric():
+    """Record a named numeric metric into ``BENCH_results.json``.
+
+    Metrics (e.g. the deep-sweep detector-speedup gate) merge into the same
+    artefact as the wall-clock timings, so perf ratios across PRs are
+    diffable alongside the raw durations.
+    """
+
+    def _record(name: str, value) -> None:
+        _metrics[name] = round(float(value), 4)
+
+    return _record
+
+
 def _is_bench_nodeid(nodeid: str) -> bool:
     filename = os.path.basename(nodeid.split("::", 1)[0])
     return filename.startswith("bench_")
@@ -60,7 +78,7 @@ def pytest_sessionfinish(session, exitstatus):
     Timings merge into the existing file, so running a single bench updates
     its entry without discarding the rest of the record.
     """
-    if not _timings:
+    if not _timings and not _metrics:
         return
     os.makedirs(RESULTS_DIR, exist_ok=True)
     merged = {}
@@ -71,6 +89,7 @@ def pytest_sessionfinish(session, exitstatus):
         except (OSError, ValueError):
             merged = {}
     merged.update(_timings)
+    merged.update(_metrics)
     with open(BENCH_TIMINGS_PATH, "w", encoding="utf-8") as handle:
         json.dump(dict(sorted(merged.items())), handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -83,8 +83,9 @@ class MappingResult:
             f"  configuration size: {self.configuration.size_bytes} bytes",
         ]
         if self.simulation is not None:
+            ii = self.simulation.measured_ii
             lines.append(
-                f"  simulation        : II={self.simulation.measured_ii:.2f}, "
+                f"  simulation        : II={'n/a' if ii is None else format(ii, '.2f')}, "
                 f"reference match={self.simulation.matches_reference}"
             )
         return "\n".join(lines)

@@ -149,9 +149,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         record_trace=args.trace,
         engine=args.engine,
+        detector=args.detector,
     )
     print(result.summary())
-    print(f"analytic II: {analytic_ii(schedule)}, measured II: {result.measured_ii:.2f}")
+    measured = (
+        "n/a (run too short)"
+        if result.measured_ii is None
+        else f"{result.measured_ii:.2f}"
+    )
+    print(f"analytic II: {analytic_ii(schedule)}, measured II: {measured}")
     if args.trace and result.trace is not None:
         print()
         print(render_schedule_table(result.trace, overlay.depth, num_cycles=args.trace_cycles))
@@ -217,6 +223,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         verify=not args.no_verify,
+        detector=args.detector,
     )
     results = run_sweep(grid, jobs=args.jobs)
     if args.json:
@@ -293,6 +300,8 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .engine.fastsim import DETECTORS
+
     parser = argparse.ArgumentParser(
         prog="repro-overlay",
         description="Linear time-multiplexed FPGA overlay tool flow (DATE 2018 reproduction)",
@@ -332,6 +341,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("cycle", "fast"),
         help="simulation core: cycle-accurate reference or the fast event-driven engine",
     )
+    p_sim.add_argument(
+        "--detector",
+        default="occupancy",
+        choices=DETECTORS,
+        help="fast-engine steady-state detector (ignored by --engine cycle)",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_sweep = sub.add_parser(
@@ -351,6 +366,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--blocks", type=int, default=12)
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--engine", default="fast", choices=("cycle", "fast"))
+    p_sweep.add_argument(
+        "--detector",
+        default="occupancy",
+        choices=DETECTORS,
+        help="fast-engine steady-state detector (occupancy locks early on "
+        "fixed-depth overlays; legacy is the PR-1 detector, kept for A/B)",
+    )
     p_sweep.add_argument(
         "--jobs", type=int, default=None, help="worker processes (default: CPU count)"
     )

@@ -147,6 +147,13 @@ OP_ARITY: Dict[OpCode, int] = {
 }
 
 
+#: Python expression templates mirroring :data:`OP_SEMANTICS` (positional
+#: placeholders are operand expressions).  Compiled evaluation plans
+#: (:class:`repro.kernels.reference.BlockEvaluator`) inline these instead of
+#: calling :meth:`OpCode.evaluate` per step; ``tests/test_opcodes.py``
+#: asserts the two tables agree on every opcode and operand pattern.
+OP_EXPRESSIONS: Dict["OpCode", str] = {}
+
 #: Functional semantics of every opcode the ALU can execute.  ``PASS`` is the
 #: identity; ``LOAD``/``NOP`` have no arithmetic meaning and are not listed.
 OP_SEMANTICS: Dict[OpCode, Callable[..., int]] = {
@@ -168,6 +175,26 @@ OP_SEMANTICS: Dict[OpCode, Callable[..., int]] = {
     OpCode.MAX: lambda a, b: max(a, b),
     OpCode.ABS: lambda a: abs(a),
 }
+
+OP_EXPRESSIONS.update({
+    OpCode.PASS: "{0}",
+    OpCode.ADD: "{0} + {1}",
+    OpCode.SUB: "{0} - {1}",
+    OpCode.MUL: "{0} * {1}",
+    OpCode.SQR: "{0} * {0}",
+    OpCode.MULADD: "{0} * {1} + {2}",
+    OpCode.MULSUB: "{0} * {1} - {2}",
+    OpCode.NEG: "-{0}",
+    OpCode.AND: "{0} & {1}",
+    OpCode.OR: "{0} | {1}",
+    OpCode.XOR: "{0} ^ {1}",
+    OpCode.NOT: "~{0}",
+    OpCode.SHL: "{0} << ({1} & 31)",
+    OpCode.SHR: "{0} >> ({1} & 31)",
+    OpCode.MIN: "min({0}, {1})",
+    OpCode.MAX: "max({0}, {1})",
+    OpCode.ABS: "abs({0})",
+})
 
 
 #: Compute opcodes that can appear as DFG operation nodes.

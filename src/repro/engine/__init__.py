@@ -21,7 +21,13 @@ sweeps:
 """
 
 from .cache import CacheKey, CompiledKernel, ScheduleCache, default_cache, dfg_content_hash
-from .fastsim import FastSimulator, simulate_fast
+from .fastsim import (
+    DETECTORS,
+    FastSimulator,
+    simulate_fast,
+    steady_state_warmup_bound,
+    warmup_bound_blocks,
+)
 from .sweep import SweepPoint, SweepResult, build_grid, run_point, run_sweep
 
 __all__ = [
@@ -30,8 +36,11 @@ __all__ = [
     "ScheduleCache",
     "default_cache",
     "dfg_content_hash",
+    "DETECTORS",
     "FastSimulator",
     "simulate_fast",
+    "steady_state_warmup_bound",
+    "warmup_bound_blocks",
     "SweepPoint",
     "SweepResult",
     "build_grid",

@@ -100,6 +100,11 @@ class CompiledKernel:
     schedule: OverlaySchedule
     program: OverlayProgram
     configuration: ConfigurationImage
+    #: Analytic steady-state warm-up bound W(depth, fifo_depth, II) in
+    #: cycles (:func:`repro.engine.fastsim.steady_state_warmup_bound`),
+    #: computed once at compile time so sweeps and runtimes can cap the
+    #: fast engine's fingerprint table without re-deriving it per run.
+    warmup_bound_cycles: int = 0
 
 
 @dataclass
@@ -108,7 +113,9 @@ class CacheStats:
 
     ``source_hits`` counts warm hits on the source index — full-chain
     lookups that skipped the frontend entirely; they are *in addition to*
-    the DFG-keyed ``hits``, never double-counted.
+    the DFG-keyed ``hits``, never double-counted.  ``schedule_hits`` counts
+    warm hits on the schedule-only index (kernels whose full compile fails
+    codegen but whose schedule is still valid for analytic evaluation).
     """
 
     hits: int = 0
@@ -116,15 +123,23 @@ class CacheStats:
     disk_hits: int = 0
     evictions: int = 0
     source_hits: int = 0
+    schedule_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses + self.disk_hits + self.source_hits
+        return (
+            self.hits + self.misses + self.disk_hits + self.source_hits
+            + self.schedule_hits
+        )
 
     @property
     def hit_rate(self) -> float:
         lookups = self.lookups
-        return (self.hits + self.disk_hits + self.source_hits) / lookups if lookups else 0.0
+        if not lookups:
+            return 0.0
+        return (
+            self.hits + self.disk_hits + self.source_hits + self.schedule_hits
+        ) / lookups
 
 
 class ScheduleCache:
@@ -138,6 +153,11 @@ class ScheduleCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, CompiledKernel]" = OrderedDict()
         self._source_index: "OrderedDict[Tuple, CacheKey]" = OrderedDict()
+        #: Schedules of kernels whose *full* compile raised CodegenError
+        #: (register pressure / instruction memory): the schedule itself is
+        #: valid and analytic sweeps request it over and over, so it is
+        #: memoised here instead of being rescheduled on every call.
+        self._schedule_index: "OrderedDict[CacheKey, OverlaySchedule]" = OrderedDict()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -149,6 +169,7 @@ class ScheduleCache:
         with self._lock:
             self._entries.clear()
             self._source_index.clear()
+            self._schedule_index.clear()
             self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -156,6 +177,47 @@ class ScheduleCache:
         """Return the compiled artifacts, running the mapping flow on a miss."""
         key = CacheKey.for_mapping(dfg, overlay)
         return self._get_or_compile_keyed(key, dfg, overlay)
+
+    def get_schedule(self, dfg: DFG, overlay: LinearOverlay) -> OverlaySchedule:
+        """Return the schedule, even for kernels whose codegen fails.
+
+        The analytic evaluation path (:func:`repro.metrics.performance.
+        evaluate_kernel`) needs only the schedule; kernels that schedule fine
+        but exceed the variant's register file or instruction memory raise
+        :class:`~repro.errors.CodegenError` in the *later* stages of the full
+        compile.  Those schedules are memoised in a dedicated index keyed
+        like the main cache, so a sweep asks the scheduler (and recomputes
+        ASAP levels / resource estimates on fresh DFG copies) exactly once
+        per (kernel, overlay) pair instead of once per call — and the doomed
+        codegen stages are not re-attempted on every lookup either.
+        """
+        from ..errors import CodegenError
+
+        key = CacheKey.for_mapping(dfg, overlay)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached.schedule
+            schedule = self._schedule_index.get(key)
+            if schedule is not None:
+                self._schedule_index.move_to_end(key)
+                self.stats.schedule_hits += 1
+                return schedule
+        try:
+            return self._get_or_compile_keyed(key, dfg, overlay).schedule
+        except CodegenError:
+            # Reschedule once (the failed compile's schedule is out of reach)
+            # and memoise it; this path runs at most once per (kernel,
+            # overlay) pair per cache lifetime.
+            schedule = schedule_kernel(dfg, overlay)
+            with self._lock:
+                self.stats.misses += 1
+                self._schedule_index[key] = schedule
+                while len(self._schedule_index) > self.capacity:
+                    self._schedule_index.popitem(last=False)
+            return schedule
 
     def get_or_compile_source(
         self,
@@ -221,11 +283,16 @@ class ScheduleCache:
                 self._store(key, from_disk)
             return from_disk
 
+        from .fastsim import steady_state_warmup_bound
+
         schedule = schedule_kernel(dfg, overlay)
         program = generate_program(schedule)
         configuration = build_configuration_image(schedule, program)
         compiled = CompiledKernel(
-            schedule=schedule, program=program, configuration=configuration
+            schedule=schedule,
+            program=program,
+            configuration=configuration,
+            warmup_bound_cycles=steady_state_warmup_bound(schedule),
         )
         with self._lock:
             self.stats.misses += 1
@@ -255,7 +322,14 @@ class ScheduleCache:
                 compiled = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             return None
-        return compiled if isinstance(compiled, CompiledKernel) else None
+        if not isinstance(compiled, CompiledKernel):
+            return None
+        if not getattr(compiled, "warmup_bound_cycles", 0):
+            # Entry pickled before warm-up bounds existed: backfill it.
+            from .fastsim import steady_state_warmup_bound
+
+            compiled.warmup_bound_cycles = steady_state_warmup_bound(compiled.schedule)
+        return compiled
 
     def _save_to_disk(self, key: CacheKey, compiled: CompiledKernel) -> None:
         path = self._disk_path(key)

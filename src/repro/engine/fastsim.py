@@ -16,14 +16,33 @@ measurements an order of magnitude faster, exploiting two observations:
 2. **The pipeline reaches a periodic steady state.**  Once the cascade is
    full, the machine state repeats every initiation interval, shifted by a
    constant number of cycles and data blocks.  The engine fingerprints the
-   full control state (relative to the current cycle and completed-block
-   count) each time a block completes; when a fingerprint recurs the run is
-   provably periodic, and the engine analytically fast-forwards N whole
-   periods — relabelling in-flight state, extrapolating completion times and
-   adding N x the per-period statistics deltas — then finishes the drain
-   cycle-accurately.  Stat counters, FIFO/RF high-water marks and completion
-   cycles all match the cycle simulator exactly (see ``docs/engine.md`` for
-   the correctness argument).
+   control state each time a block completes; when a fingerprint recurs the
+   run is provably periodic, and the engine analytically fast-forwards N
+   whole periods — relabelling in-flight state, extrapolating completion
+   times and adding N x the per-period statistics deltas — then finishes the
+   drain cycle-accurately.  Stat counters, FIFO/RF high-water marks and
+   completion cycles all match the cycle simulator exactly (see
+   ``docs/engine.md`` for the correctness argument).
+
+Two steady-state detectors exist (the ``detector`` knob):
+
+* ``"legacy"`` fingerprints the *whole machine* relative to the global
+  completed-block count, so it only fires once every inter-stage FIFO has
+  reached its final occupancy.  On fixed-depth overlays (V3-V5) deep kernels
+  keep filling the FIFOs for O(fifo_depth x depth) blocks before that
+  happens, which is exactly where the big sweeps need the speedup.
+* ``"occupancy"`` (the default) canonicalises each FU's state relative to
+  its *own* oldest in-flight block and each channel's content by its
+  occupancy alone.  That fingerprint recurs as soon as every stage is
+  *locally* periodic — long before the FIFO-fill transient ends — and the
+  bounded-FIFO occupancy argument (see ``docs/engine.md``) makes the skip
+  exact even while occupancies are still ramping: the engine tracks, per
+  channel and per detection window, the minimum occupancy at consumer
+  emptiness checks and the maximum pressure at producer backpressure
+  checks, and only jumps as many periods as keep every threshold outcome
+  unchanged.  The analytic warm-up bound
+  :func:`steady_state_warmup_bound` caps the fingerprint table and serves
+  as a cross-check oracle in the test suite.
 
 Events that need sub-cycle ordering (ALU results whose pipeline latency
 elapsed, internal write-backs reaching the register file) are kept in
@@ -37,7 +56,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import SimulationError
+from ..errors import ConfigurationError, SimulationError
 from ..kernels.reference import BlockEvaluator
 from ..schedule.types import OverlaySchedule, SlotKind
 from ..sim.alu import _wrap
@@ -155,15 +174,44 @@ class _FastRF:
 
 
 class _FastChannel:
-    """Bounded inter-stage FIFO holding ``(block, value id)`` tokens."""
+    """Bounded inter-stage FIFO holding ``(block, value id)`` tokens.
 
-    __slots__ = ("name", "capacity", "queue", "high_water")
+    Besides the queue itself the channel keeps per-detection-window records
+    of every occupancy value that actually steered control flow — the queue
+    length at each consumer emptiness check and the queue+pending pressure at
+    each producer backpressure check — which is what lets the occupancy
+    detector prove that a fast-forward cannot flip any threshold outcome
+    while the FIFO is still filling.
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "queue",
+        "high_water",
+        "win_min_empty",
+        "win_max_press",
+        "win_press_full",
+        "win_push_max",
+    )
 
     def __init__(self, name: str, capacity: int):
         self.name = name
         self.capacity = capacity
         self.queue: Deque[Tuple[int, int]] = deque()
         self.high_water = 0
+        self.reset_window()
+
+    def reset_window(self) -> None:
+        #: Minimum queue length seen at a consumer emptiness check (None if
+        #: the consumer never looked), maximum queue+pending pressure seen at
+        #: a producer backpressure check that *passed* (None if none did),
+        #: whether any backpressure check found the channel full, and the
+        #: maximum post-push occupancy — all since the last detection event.
+        self.win_min_empty: Optional[int] = None
+        self.win_max_press: Optional[int] = None
+        self.win_press_full = False
+        self.win_push_max = 0
 
     def push(self, token: Tuple[int, int]) -> None:
         if self.capacity > 0 and len(self.queue) >= self.capacity:
@@ -172,8 +220,11 @@ class _FastChannel:
                 "the producer should have been back-pressured"
             )
         self.queue.append(token)
-        if len(self.queue) > self.high_water:
-            self.high_water = len(self.queue)
+        occupancy = len(self.queue)
+        if occupancy > self.high_water:
+            self.high_water = occupancy
+        if occupancy > self.win_push_max:
+            self.win_push_max = occupancy
 
     def shift(self, delta_blocks: int) -> None:
         self.queue = deque((block + delta_blocks, vid) for block, vid in self.queue)
@@ -307,7 +358,11 @@ class _FastFU:
             # exactly (load_block, expected) by construction.
             block, value_id = self.load_block, expected
         else:
-            queue = self.in_channel.queue
+            channel = self.in_channel
+            queue = channel.queue
+            occupancy = len(queue)
+            if channel.win_min_empty is None or occupancy < channel.win_min_empty:
+                channel.win_min_empty = occupancy
             if not queue:
                 self.load_stall_cycles += 1
                 return False
@@ -357,11 +412,15 @@ class _FastFU:
             if not rf.has(block, operand):
                 self.exec_stall_cycles += 1
                 return
-        if emits and self.out_channel is not None and self.out_channel.capacity > 0 and (
-            len(self.out_channel.queue) + len(self.pending_out) >= self.out_channel.capacity
-        ):
-            self.backpressure_stall_cycles += 1
-            return
+        if emits and self.out_channel is not None and self.out_channel.capacity > 0:
+            channel = self.out_channel
+            pressure = len(channel.queue) + len(self.pending_out)
+            if pressure >= channel.capacity:
+                channel.win_press_full = True
+                self.backpressure_stall_cycles += 1
+                return
+            if channel.win_max_press is None or pressure > channel.win_max_press:
+                channel.win_max_press = pressure
 
         for operand in operands:
             rf.consume(block, operand)
@@ -385,6 +444,29 @@ class _FastFU:
     # ------------------------------------------------------------------
     # steady-state support
     # ------------------------------------------------------------------
+    def base_block(self) -> int:
+        """This FU's oldest in-flight block — the canonical relabelling base.
+
+        The occupancy detector fingerprints every FU relative to its *own*
+        base so the fingerprint recurs as soon as the stage is locally
+        periodic, even while it still runs ahead of (or behind) the global
+        completion frontier during the FIFO-fill transient.
+        """
+        if self.slots:
+            return self.exec_block
+        if self.load_order:
+            return self.load_block
+        return 0
+
+    def frontier_block(self) -> int:
+        """The most advanced block pointer of this FU (end-of-stream guard)."""
+        frontier = -1
+        if self.load_order:
+            frontier = self.load_block
+        if self.slots and self.exec_block > frontier:
+            frontier = self.exec_block
+        return frontier
+
     def fingerprint(self, cycle: int, base_block: int) -> tuple:
         """Control state relative to ``(cycle, base_block)``.
 
@@ -427,9 +509,11 @@ class _FastFU:
         """Relabel this FU's state ``periods`` steady-state periods ahead."""
         exec_before = self.exec_block
         if self.load_order:
-            self.load_block += delta_blocks
+            # A finished load pointer is pinned at num_blocks (the detector
+            # guarantees unfinished pointers stay below it through the skip).
+            self.load_block = min(self.load_block + delta_blocks, self.num_blocks)
         if self.slots:
-            self.exec_block += delta_blocks
+            self.exec_block = min(self.exec_block + delta_blocks, self.num_blocks)
         self.next_load_cycle += delta_cycles
         self.next_exec_cycle += delta_cycles
         self.block_load_barrier += delta_cycles
@@ -462,12 +546,354 @@ class _FastFU:
         )
 
 
+# ---------------------------------------------------------------------------
+# analytic warm-up bound
+# ---------------------------------------------------------------------------
+def warmup_bound_blocks(schedule: OverlaySchedule) -> int:
+    """Upper bound, in completed blocks, on the steady-state warm-up.
+
+    The bounded-FIFO occupancy argument: every inter-stage channel can absorb
+    at most ``fifo_depth`` tokens of rate mismatch before backpressure
+    throttles its producer, and a filling channel gains at least one token
+    per completion period, so after ``(depth-1) * fifo_depth`` completions
+    (plus a couple of blocks of pipeline/lookahead slack per stage) every
+    channel occupancy — and with it the whole machine state modulo block
+    relabelling — must be repeating.
+    """
+    depth = schedule.depth
+    fifo = schedule.overlay.fifo_depth
+    return (depth - 1) * (fifo + 2) + 4 * depth + 8
+
+
+def steady_state_warmup_bound(schedule: OverlaySchedule) -> int:
+    """Analytic warm-up upper bound ``W(depth, fifo_depth, II)`` in cycles.
+
+    Both steady-state detectors must have locked onto the periodic regime
+    within this many cycles of a sufficiently long single-lane run (the
+    multilane wrapper applies it per lane).  The bound is deliberately
+    generous — it is a safety cap on fingerprint-table growth and a
+    cross-check oracle for the detectors, not a performance model.
+    """
+    from ..schedule.ii import per_stage_ii
+
+    stage_iis = per_stage_ii(schedule)
+    ii = max(stage_iis) if stage_iis else 1
+    pipeline = schedule.depth * (schedule.variant.alu_pipeline_depth + 2)
+    return ii * (warmup_bound_blocks(schedule) + schedule.depth) + pipeline
+
+
+# ---------------------------------------------------------------------------
+# steady-state detectors
+# ---------------------------------------------------------------------------
+#: Valid values of the ``detector`` knob.
+DETECTORS = ("occupancy", "legacy")
+
+_INF = 10 ** 18
+
+
+def _received_fingerprint(received: Dict[int, Set[int]], completed: int) -> tuple:
+    return tuple(
+        (block - completed, tuple(sorted(vids)))
+        for block, vids in sorted(received.items())
+    )
+
+
+class _LegacyDetector:
+    """PR-1 detector: whole-machine fingerprint relative to the completed
+    count, so it only fires once every FIFO occupancy has reached its final
+    value.  Kept verbatim for A/B comparison (``detector="legacy"``)."""
+
+    def __init__(self, fus: List[_FastFU], channels: List[_FastChannel],
+                 num_blocks: int, log: List[dict]):
+        self.fus = fus
+        self.channels = channels
+        self.num_blocks = num_blocks
+        self.log = log
+        self.seen: Dict[tuple, Tuple[int, int, List[Tuple[int, ...]]]] = {}
+        self.done = False
+
+    def observe(self, cycle: int, completed: int, received: Dict[int, Set[int]],
+                completion: List[Optional[int]]) -> Optional[Tuple[int, int]]:
+        fingerprint = FastSimulator._fingerprint(
+            self.fus, self.channels, received, cycle, completed
+        )
+        match = self.seen.get(fingerprint)
+        if match is None:
+            self.seen[fingerprint] = (
+                cycle,
+                completed,
+                [fu.stats_snapshot() for fu in self.fus],
+            )
+            return None
+        skipped_to = FastSimulator._apply_fast_forward(
+            match, self.fus, self.channels, received, completion,
+            cycle, completed, self.num_blocks,
+        )
+        # One skip captures the asymptotic win; further detection would only
+        # re-find the same period.
+        self.done = True
+        if skipped_to is not None:
+            period = cycle - match[0]
+            blocks = completed - match[1]
+            self.log.append({
+                "detector": "legacy",
+                "kind": "steady",
+                "cycle": cycle,
+                "completed": completed,
+                "period": period,
+                "blocks": blocks,
+                "periods": (skipped_to[0] - cycle) // period if period else 0,
+            })
+        return skipped_to
+
+
+class _OccupancyDetector:
+    """Occupancy-based early steady-state detector (the default).
+
+    Fingerprints each FU relative to its *own* oldest in-flight block and
+    drops channel contents from the fingerprint entirely (a channel's
+    content is fully determined by its consumer's load pointer plus the
+    occupancy, because tokens flow strictly in stream order).  The
+    fingerprint therefore recurs as soon as every stage is locally periodic
+    — while inter-stage occupancies are still ramping towards their final
+    values — and the skip handles a constant per-period occupancy drift
+    ``d_k`` per channel.
+
+    Exactness rests on the bounded-FIFO occupancy argument (docs/engine.md):
+    a recurrence proves the evolution repeats shifted by ``d_k`` tokens per
+    period *unless* an emptiness or backpressure threshold outcome flips.
+    The detector tracks, per channel and per detection window, the minimum
+    occupancy at consumer emptiness checks and the maximum pressure at
+    producer backpressure checks, and jumps only as many periods as provably
+    keep every threshold outcome unchanged.  Saturation events (a channel
+    reaching capacity, the stream running out) end a regime; the detector
+    then restarts and finds the next regime's period.  The same machinery
+    compresses the fill transient (positive drift), the drift-free middle
+    and the end-of-stream drain (negative drift, channels emptying).
+    """
+
+    def __init__(self, fus: List[_FastFU], channels: List[_FastChannel],
+                 num_blocks: int, max_events: int, log: List[dict]):
+        self.fus = fus
+        self.channels = channels
+        self.num_blocks = num_blocks
+        self.max_events = max(max_events, 16)
+        self.log = log
+        self.table: Dict[tuple, int] = {}
+        #: One record per completion event: (cycle, completed, per-FU bases,
+        #: per-FU stats snapshots, per-channel occupancies, per-channel
+        #: threshold-check aggregates since the previous event).
+        self.events: List[tuple] = []
+        self.done = False
+
+    def observe(self, cycle: int, completed: int, received: Dict[int, Set[int]],
+                completion: List[Optional[int]]) -> Optional[Tuple[int, int]]:
+        fus = self.fus
+        since = []
+        for channel in self.channels:
+            since.append((
+                channel.win_min_empty,
+                channel.win_max_press,
+                channel.win_press_full,
+                channel.win_push_max,
+            ))
+            channel.reset_window()
+        bases = tuple(fu.base_block() for fu in fus)
+        event = (
+            cycle,
+            completed,
+            bases,
+            [fu.stats_snapshot() for fu in fus],
+            tuple(len(channel.queue) for channel in self.channels),
+            since,
+        )
+        fingerprint = (
+            tuple(fu.fingerprint(cycle, base) for fu, base in zip(fus, bases)),
+            _received_fingerprint(received, completed),
+        )
+        index = self.table.get(fingerprint)
+        if index is None:
+            if len(self.events) >= self.max_events:
+                # Past the analytic warm-up bound both regimes and the final
+                # steady state must already have recurred; a table this large
+                # means pathological aliasing, so restart detection instead
+                # of growing without bound.
+                self.table.clear()
+                self.events.clear()
+            self.events.append(event)
+            self.table[fingerprint] = len(self.events) - 1
+            return None
+        skip = self._try_skip(self.events[index], self.events[index + 1:], event,
+                              received, completion)
+        if skip is None:
+            if len(self.events) >= self.max_events:
+                self.table.clear()
+                self.events.clear()
+            # Keep the most recent occurrence so future match windows stay
+            # one minimal period wide.
+            self.events.append(event)
+            self.table[fingerprint] = len(self.events) - 1
+            return None
+        new_cycle, new_completed, _ramp = skip
+        # A regime boundary lies just ahead — a channel saturating after a
+        # ramp skip, or the end-of-stream frontier after a drift-free skip —
+        # so the recorded windows no longer describe the state.  Restart
+        # detection seeded with the post-skip state: the canonical
+        # fingerprint is invariant under the skip relabelling by
+        # construction, so if the regime continues for another completion
+        # the detector re-locks after *one* window instead of two, and the
+        # drain decomposes into emptying regimes (negative drift) skipped
+        # the same way as the fill.
+        self.table.clear()
+        self.events.clear()
+        self.events.append((
+            new_cycle,
+            new_completed,
+            tuple(fu.base_block() for fu in fus),
+            [fu.stats_snapshot() for fu in fus],
+            tuple(len(channel.queue) for channel in self.channels),
+            # Since-aggregates of a seed event are never read: validation
+            # windows start strictly after the matched index.
+            [(None, None, False, 0)] * len(self.channels),
+        ))
+        self.table[fingerprint] = 0
+        return new_cycle, new_completed
+
+    # ------------------------------------------------------------------
+    def _try_skip(self, prev: tuple, window: List[tuple], event: tuple,
+                  received: Dict[int, Set[int]],
+                  completion: List[Optional[int]]) -> Optional[Tuple[int, int, bool]]:
+        cycle1, completed1, bases1, stats1, occs1, _ = prev
+        cycle, completed, bases, _stats, occs, since = event
+        window = window + [event]
+        period = cycle - cycle1
+        blocks = completed - completed1
+        if period <= 0 or blocks <= 0:
+            return None
+        fus = self.fus
+        num_blocks = self.num_blocks
+        deltas = [b2 - b1 for b1, b2 in zip(bases1, bases)]
+        if any(d < 0 for d in deltas):
+            return None
+        # The sink FU must advance in lockstep with the completion counter,
+        # otherwise the two fingerprint frames would drift apart.
+        if fus[-1].slots and deltas[-1] != blocks:
+            return None
+
+        # Per-channel occupancy drift and threshold-safety limits.
+        periods = _INF
+        drifts: List[int] = []
+        push_maxes: List[int] = []
+        for k, channel in enumerate(self.channels):
+            drift = occs[k] - occs1[k]
+            drifts.append(drift)
+            tokens_per_block = len(fus[k + 1].load_order)
+            if drift != tokens_per_block * (deltas[k] - deltas[k + 1]):
+                return None  # aliasing: not a consistent token-conserving mirror
+            min_empty: Optional[int] = None
+            max_press: Optional[int] = None
+            press_full = False
+            push_max = 0
+            for record in window:
+                w_min, w_press, w_full, w_push = record[5][k]
+                if w_min is not None and (min_empty is None or w_min < min_empty):
+                    min_empty = w_min
+                if w_press is not None and (max_press is None or w_press > max_press):
+                    max_press = w_press
+                press_full = press_full or w_full
+                if w_push > push_max:
+                    push_max = w_push
+            push_maxes.append(push_max)
+            if drift == 0:
+                continue
+            if min_empty == 0:
+                return None  # an emptiness outcome would flip on repeat
+            capacity = channel.capacity
+            if drift > 0:
+                if capacity > 0:
+                    if max_press is not None:
+                        periods = min(periods, (capacity - 1 - max_press) // drift)
+                    periods = min(periods, (capacity - push_max) // drift)
+            else:
+                if press_full:
+                    return None  # a fullness outcome would flip on repeat
+                if min_empty is not None:
+                    periods = min(periods, (min_empty - 1) // (-drift))
+
+        # End-of-stream guard: no block pointer may reach num_blocks inside
+        # the skipped periods (the only absolute-index comparisons).
+        for fu, delta in zip(fus, deltas):
+            if delta > 0:
+                periods = min(periods, (num_blocks - 1 - fu.frontier_block()) // delta)
+        if periods >= _INF or periods < 1:
+            return None
+
+        delta_cycles = periods * period
+        for fu, delta, before in zip(fus, deltas, stats1):
+            fu.shift(delta_cycles, periods * delta, periods, before)
+        ramp = False
+        for k, channel in enumerate(self.channels):
+            drift = drifts[k]
+            consumer = fus[k + 1]
+            new_length = len(channel.queue) + periods * drift
+            if drift:
+                ramp = True
+                channel.high_water = max(
+                    channel.high_water, push_maxes[k] + periods * drift
+                )
+            if drift == 0 and periods * deltas[k + 1] == 0:
+                continue  # contents and labels both unchanged
+            if new_length and not consumer.load_order:
+                raise SimulationError(
+                    f"FIFO {channel.name!r} holds tokens but FU{k + 1} loads "
+                    "nothing; schedule is inconsistent"
+                )
+            # A channel's content is the in-order token stream starting at
+            # its consumer's (already shifted) load pointer.
+            order = consumer.load_order
+            block, slot = consumer.load_block, consumer.load_index
+            tokens = []
+            for _ in range(new_length):
+                tokens.append((block, order[slot]))
+                slot += 1
+                if slot == len(order):
+                    slot = 0
+                    block += 1
+            channel.queue = deque(tokens)
+        if received:
+            shifted = {
+                block + periods * blocks: vids for block, vids in received.items()
+            }
+            received.clear()
+            received.update(shifted)
+        window_completions = completion[completed1:completed]
+        for j in range(1, periods + 1):
+            base = completed1 + j * blocks
+            offset = j * period
+            for t, done in enumerate(window_completions):
+                completion[base + t] = done + offset  # type: ignore[operator]
+        self.log.append({
+            "detector": "occupancy",
+            "kind": "ramp" if ramp else "steady",
+            "cycle": cycle,
+            "completed": completed,
+            "period": period,
+            "blocks": blocks,
+            "periods": periods,
+        })
+        return cycle + delta_cycles, completed + periods * blocks, ramp
+
+
 class FastSimulator:
     """Drop-in fast engine with the same interface as ``OverlaySimulator``.
 
-    ``fast_forward=False`` disables the steady-state skip (the engine then
-    runs every cycle, still value-free); it exists for differential testing
-    of the fast-forward itself.
+    ``detector`` selects the steady-state detector: ``"occupancy"`` (the
+    default — locks on fixed-depth overlays long before the FIFO-fill
+    transient ends) or ``"legacy"`` (the PR-1 whole-machine fingerprint,
+    kept for A/B comparison).  ``fast_forward=False`` disables the
+    steady-state skip entirely (the engine then runs every cycle, still
+    value-free); it exists for differential testing of the fast-forward
+    itself.  Every applied skip is appended to ``fast_forward_events``.
     """
 
     def __init__(
@@ -476,14 +902,23 @@ class FastSimulator:
         max_cycles: Optional[int] = None,
         enforce_rf_capacity: bool = True,
         fast_forward: bool = True,
+        detector: str = "occupancy",
     ):
+        if detector not in DETECTORS:
+            raise ConfigurationError(
+                f"unknown steady-state detector {detector!r}; "
+                f"available: {', '.join(DETECTORS)}"
+            )
         self.schedule = schedule
         self.max_cycles = max_cycles
         self.enforce_rf_capacity = enforce_rf_capacity
         self.fast_forward = fast_forward
+        self.detector = detector
+        self.fast_forward_events: List[dict] = []
 
     # ------------------------------------------------------------------
     def run(self, input_blocks: Sequence[Sequence[int]]) -> SimulationResult:
+        self.fast_forward_events = []
         blocks = [list(block) for block in input_blocks]
         if not blocks:
             raise SimulationError("at least one input block is required")
@@ -544,9 +979,20 @@ class FastSimulator:
         cycle = 0
         max_cycles = self.max_cycles or self._default_max_cycles(num_blocks)
 
-        seen: Optional[Dict[tuple, Tuple[int, int, List[Tuple[int, ...]], ]]] = (
-            {} if self.fast_forward else None
-        )
+        detector = None
+        if self.fast_forward:
+            if self.detector == "legacy":
+                detector = _LegacyDetector(
+                    fus, channels, num_blocks, self.fast_forward_events
+                )
+            else:
+                detector = _OccupancyDetector(
+                    fus,
+                    channels,
+                    num_blocks,
+                    max_events=warmup_bound_blocks(schedule) + 64,
+                    log=self.fast_forward_events,
+                )
 
         while completed < num_blocks:
             if cycle > max_cycles:
@@ -579,24 +1025,12 @@ class FastSimulator:
                 fu.tick(cycle)
             cycle += 1
 
-            if completions_this_cycle and seen is not None and completed < num_blocks:
-                fingerprint = self._fingerprint(fus, channels, received, cycle, completed)
-                match = seen.get(fingerprint)
-                if match is None:
-                    seen[fingerprint] = (
-                        cycle,
-                        completed,
-                        [fu.stats_snapshot() for fu in fus],
-                    )
-                else:
-                    skipped_to = self._apply_fast_forward(
-                        match, fus, channels, received, completion, cycle, completed, num_blocks
-                    )
-                    if skipped_to is not None:
-                        cycle, completed = skipped_to
-                    # One skip captures the asymptotic win; further detection
-                    # would only re-find the same period.
-                    seen = None
+            if completions_this_cycle and detector is not None and completed < num_blocks:
+                skipped_to = detector.observe(cycle, completed, received, completion)
+                if skipped_to is not None:
+                    cycle, completed = skipped_to
+                if detector.done:
+                    detector = None
 
         total_cycles = cycle
         outputs = _functional_outputs(schedule.dfg, blocks)
@@ -734,6 +1168,7 @@ def simulate_fast(
     max_cycles: Optional[int] = None,
     enforce_rf_capacity: bool = True,
     fast_forward: bool = True,
+    detector: str = "occupancy",
 ) -> SimulationResult:
     """Run the fast engine on a stream of input blocks."""
     simulator = FastSimulator(
@@ -741,5 +1176,6 @@ def simulate_fast(
         max_cycles=max_cycles,
         enforce_rf_capacity=enforce_rf_capacity,
         fast_forward=fast_forward,
+        detector=detector,
     )
     return simulator.run(input_blocks)

@@ -19,10 +19,11 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SweepError
 from ..kernels.library import get_kernel, kernel_names
 from ..metrics.performance import (
     EVALUATION_VARIANTS,
@@ -35,6 +36,7 @@ from ..overlay.fu import get_variant
 from ..overlay.resources import overlay_fmax_mhz
 from ..sim.overlay import simulate_schedule
 from .cache import default_cache
+from .fastsim import DETECTORS
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -51,6 +53,7 @@ class SweepPoint:
     seed: int = 0
     engine: str = "fast"
     verify: bool = True
+    detector: str = "occupancy"  # fast-engine steady-state detector
 
 
 @dataclass
@@ -63,8 +66,11 @@ class SweepResult:
     overlay_depth: int
     num_blocks: int
     engine: str
+    detector: str
     analytic_ii: float
-    measured_ii: float
+    #: None when the run completed fewer than two blocks (no measurable II);
+    #: ``throughput_gops`` then falls back to the analytic II.
+    measured_ii: Optional[float]
     latency_cycles: int
     total_cycles: int
     fmax_mhz: float
@@ -84,6 +90,7 @@ def build_grid(
     seed: int = 0,
     engine: str = "fast",
     verify: bool = True,
+    detector: str = "occupancy",
 ) -> List[SweepPoint]:
     """Cross kernels x variants x depths into a list of sweep points.
 
@@ -100,6 +107,7 @@ def build_grid(
             seed=seed,
             engine=engine,
             verify=verify,
+            detector=detector,
         )
         for name in names
         for variant in variants
@@ -133,8 +141,14 @@ def run_point(point: SweepPoint) -> SweepResult:
         seed=point.seed,
         verify=point.verify,
         engine=point.engine,
+        detector=point.detector,
     )
     fmax = overlay_fmax_mhz(overlay.variant, overlay.depth)
+    analytic = float(analytic_ii(schedule))
+    # A run too short to complete two blocks has no measurable II; report it
+    # as unmeasured and fall back to the analytic model for throughput.
+    measured = None if result.measured_ii is None else float(result.measured_ii)
+    throughput_ii = analytic if measured is None else measured
     return SweepResult(
         kernel=point.kernel,
         variant=overlay.variant.name,
@@ -142,13 +156,14 @@ def run_point(point: SweepPoint) -> SweepResult:
         overlay_depth=overlay.depth,
         num_blocks=point.num_blocks,
         engine=point.engine,
-        analytic_ii=float(analytic_ii(schedule)),
-        measured_ii=float(result.measured_ii),
+        detector=point.detector,
+        analytic_ii=analytic,
+        measured_ii=measured,
         latency_cycles=int(result.latency_cycles),
         total_cycles=int(result.total_cycles),
         fmax_mhz=float(fmax),
         throughput_gops=throughput_gops(
-            schedule.dfg.num_operations, result.measured_ii, fmax
+            schedule.dfg.num_operations, throughput_ii, fmax
         ),
         matches_reference=result.matches_reference,
         elapsed_s=time.perf_counter() - started,
@@ -161,8 +176,13 @@ def parallel_map(
     """Map ``fn`` over ``items``, in a process pool when it pays off.
 
     Preserves input order.  Falls back to serial execution for tiny inputs,
-    ``jobs<=1`` or platforms where worker processes cannot be started, so it
-    is always safe to call.
+    ``jobs<=1`` or platforms where worker processes cannot be *created* at
+    all.  Failures after the pool exists are real and surface to the caller:
+    an exception raised by ``fn`` inside a worker propagates unchanged (it
+    must not be papered over by silently re-running every point serially,
+    which would duplicate side effects and hide the error), and a worker
+    process dying (``BrokenProcessPool``) raises :class:`SweepError` with a
+    hint to rerun serially for a readable traceback.
     """
     items = list(items)
     if jobs is None:
@@ -170,10 +190,21 @@ def parallel_map(
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-            return list(pool.map(fn, items))
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
     except (OSError, PermissionError, ImportError):
+        # Only pool *creation* degrades gracefully (sandboxes and exotic
+        # platforms without process support).
         return [fn(item) for item in items]
+    with pool:
+        try:
+            return list(pool.map(fn, items))
+        except BrokenProcessPool as exc:
+            raise SweepError(
+                "a sweep worker process died unexpectedly (out of memory, "
+                "killed, or crashed before returning a result); rerun with "
+                "jobs=1 to execute the grid serially and surface the "
+                "underlying error"
+            ) from exc
 
 
 def run_sweep(
@@ -189,6 +220,10 @@ def run_sweep(
         if point.engine not in ("cycle", "fast"):
             raise ConfigurationError(
                 f"unknown simulation engine {point.engine!r} in sweep point"
+            )
+        if point.detector not in DETECTORS:
+            raise ConfigurationError(
+                f"unknown steady-state detector {point.detector!r} in sweep point"
             )
     return parallel_map(run_point, points, jobs=jobs)
 
@@ -238,9 +273,10 @@ def render_sweep_table(results: Sequence[SweepResult]) -> str:
     lines = [header, "-" * len(header)]
     for r in results:
         check = {True: "OK", False: "FAIL", None: "-"}[r.matches_reference]
+        measured = "-" if r.measured_ii is None else f"{r.measured_ii:.2f}"
         lines.append(
             f"{r.kernel:10s} {r.overlay_name:8s} {r.num_blocks:6d} "
-            f"{r.analytic_ii:7.2f} {r.measured_ii:8.2f} {r.latency_cycles:8d} "
+            f"{r.analytic_ii:7.2f} {measured:>8s} {r.latency_cycles:8d} "
             f"{r.throughput_gops:7.3f} {check:>4s} {r.elapsed_s:8.4f}"
         )
     return "\n".join(lines)

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
 from ..dfg.analysis import asap_levels
 from ..dfg.graph import DFG
+from ..dfg.opcodes import OP_EXPRESSIONS, OP_SEMANTICS, _to_signed32
 from ..errors import KernelError
 
 InputBlock = Union[Sequence[int], Mapping[str, int]]
@@ -83,9 +84,15 @@ class BlockEvaluator:
     node records on every call, which dominates the wall-clock of streaming
     workloads (the fast simulation engine evaluates thousands of blocks per
     run).  This class compiles the evaluation plan once — dense value slots,
-    prebound opcode semantics, constant preloading — and then evaluates each
-    block with a flat loop.  Results are identical to :func:`evaluate_dfg`
-    by construction (same order, same :meth:`OpCode.evaluate` semantics).
+    constant preloading, and one *generated Python function* with every
+    operation inlined as an expression (:data:`repro.dfg.opcodes.
+    OP_EXPRESSIONS`), so a block evaluates without any per-step dispatch:
+    no enum hashing, no arity checks, no bound-method calls.  The 32-bit
+    wrap is a range test per step with the actual wrap out of line, since
+    values almost always stay in range.  Results are identical to
+    :func:`evaluate_dfg` by construction (same order, same semantics;
+    ``tests/test_opcodes.py`` pins the expression table to
+    :meth:`OpCode.evaluate` and the reference suite compares whole kernels).
 
     Only positional (sequence) input blocks are supported; mapping-style
     blocks should go through :func:`evaluate_dfg`.
@@ -104,7 +111,8 @@ class BlockEvaluator:
             return index
 
         self._input_slots = [slot(node.node_id) for node in dfg.inputs()]
-        steps: List[tuple] = []
+        lines = ["def _plan(values):"]
+        fallbacks: List = []
         for node_id in dfg.topological_order():
             node = dfg.node(node_id)
             if node.is_input:
@@ -114,10 +122,34 @@ class BlockEvaluator:
             elif node.is_output:
                 continue
             else:
-                operand_slots = tuple(slot(o) for o in node.operands)
-                steps.append((slot(node_id), node.opcode.evaluate, operand_slots))
+                operands = [f"values[{slot(o)}]" for o in node.operands]
+                expression = OP_EXPRESSIONS.get(node.opcode)
+                if expression is not None:
+                    value = expression.format(*operands)
+                else:
+                    # Opcode without an expression template: fall back to its
+                    # prebound raw semantics (same wrap applied below).
+                    fallbacks.append(OP_SEMANTICS[node.opcode])
+                    value = f"_fallbacks[{len(fallbacks) - 1}]({', '.join(operands)})"
+                destination = slot(node_id)
+                lines.append(f"    v = {value}")
+                lines.append(
+                    f"    values[{destination}] = "
+                    "v if -2147483648 <= v <= 2147483647 else wrap(v)"
+                )
+        lines.append("    return values")
+        namespace = {
+            "wrap": _to_signed32,
+            "_fallbacks": fallbacks,
+            "min": min,
+            "max": max,
+            "abs": abs,
+        }
+        exec(  # noqa: S102 - generated from the DFG, no external input
+            compile("\n".join(lines), f"<plan:{dfg.name}>", "exec"), namespace
+        )
+        self._plan = namespace["_plan"]
         self._template = template
-        self._steps = steps
         #: Output source node for every output port, in declaration order.
         self.output_sources = [node.operands[0] for node in dfg.outputs()]
         self._output_slots = [slot_of[source] for source in self.output_sources]
@@ -132,14 +164,7 @@ class BlockEvaluator:
         values = self._template[:]
         for index, value in zip(self._input_slots, block):
             values[index] = int(value)
-        for dest, evaluate, operands in self._steps:
-            if len(operands) == 2:
-                values[dest] = evaluate(values[operands[0]], values[operands[1]])
-            elif len(operands) == 1:
-                values[dest] = evaluate(values[operands[0]])
-            else:
-                values[dest] = evaluate(*[values[i] for i in operands])
-        return values
+        return self._plan(values)
 
     def evaluate(self, block: Sequence[int]) -> List[int]:
         """Output values of one block (identical to :func:`evaluate_dfg`)."""

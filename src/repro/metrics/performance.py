@@ -129,17 +129,13 @@ def evaluate_kernel(
     warm path of :func:`repro.map_kernel` — schedules it exactly once.
     """
     from ..engine.cache import default_cache
-    from ..errors import CodegenError
-    from ..schedule import schedule_kernel
 
     overlay = overlay_for(variant, dfg, fixed_depth=fixed_depth)
-    try:
-        schedule = default_cache().get_or_compile(dfg, overlay).schedule
-    except CodegenError:  # covers RegisterAllocationError/EncodingError too
-        # Analytic-only evaluation must keep working for kernels that
-        # schedule but exceed the variant's register file or instruction
-        # memory; only the cached full compile needs those stages.
-        schedule = schedule_kernel(dfg, overlay)
+    # Analytic-only evaluation must keep working for kernels that schedule
+    # but exceed the variant's register file or instruction memory; the cache
+    # memoises the schedule-only fallback too, so repeated sweep calls never
+    # reschedule (or re-attempt the doomed codegen stages).
+    schedule = default_cache().get_schedule(dfg, overlay)
     resources = estimate_resources(overlay)
     ii = analytic_ii(schedule)
 

@@ -38,7 +38,9 @@ class SimulationResult:
     outputs: List[List[int]]
     completion_cycles: List[int]
     total_cycles: int
-    measured_ii: float
+    #: Steady-state spacing between consecutive completions; None when the
+    #: run was too short to measure one (fewer than two completed blocks).
+    measured_ii: Optional[float]
     latency_cycles: int
     fu_stats: List[FUStats] = field(default_factory=list)
     fifo_high_water: List[int] = field(default_factory=list)
@@ -60,9 +62,10 @@ class SimulationResult:
 
     def summary(self) -> str:
         check = {True: "OK", False: "MISMATCH", None: "not checked"}[self.matches_reference]
+        ii = "n/a" if self.measured_ii is None else f"{self.measured_ii:.2f}"
         return (
             f"{self.kernel_name} on {self.overlay_name}: {self.num_blocks} blocks in "
-            f"{self.total_cycles} cycles, II={self.measured_ii:.2f}, "
+            f"{self.total_cycles} cycles, II={ii}, "
             f"latency={self.latency_cycles} cycles, reference {check}"
         )
 
@@ -318,10 +321,16 @@ def merge_lane_results(
     )
 
 
-def _steady_state_ii(completion_cycles: Sequence[int]) -> float:
-    """Average spacing between consecutive block completions in steady state."""
+def _steady_state_ii(completion_cycles: Sequence[int]) -> Optional[float]:
+    """Average spacing between consecutive block completions in steady state.
+
+    An initiation interval is the spacing between *consecutive* completions,
+    so a run with fewer than two completed blocks has no measurable II and
+    yields ``None`` (callers report it as unmeasured or fall back to the
+    analytic model) rather than a number that is really the latency.
+    """
     if len(completion_cycles) < 2:
-        return float(completion_cycles[0] + 1) if completion_cycles else 0.0
+        return None
     deltas = [
         completion_cycles[i + 1] - completion_cycles[i]
         for i in range(len(completion_cycles) - 1)
@@ -339,6 +348,7 @@ def simulate_schedule(
     record_trace: bool = False,
     verify: bool = True,
     engine: str = "cycle",
+    detector: str = "occupancy",
 ) -> SimulationResult:
     """Convenience wrapper: simulate a schedule and verify against the reference.
 
@@ -353,7 +363,9 @@ def simulate_schedule(
     an identical :class:`SimulationResult` (asserted across the whole kernel
     library by the equivalence test suite) an order of magnitude faster.
     Trace recording needs per-cycle value-level events, so ``record_trace``
-    always uses the cycle engine.
+    always uses the cycle engine.  ``detector`` selects the fast engine's
+    steady-state detector (``"occupancy"``, the default, or ``"legacy"``
+    for A/B comparison); the cycle engine ignores it.
 
     Note that the fast engine reconstructs its output stream from the same
     functional DFG evaluation the reference model uses, so for
@@ -374,7 +386,7 @@ def simulate_schedule(
     if engine == "fast" and not record_trace:
         from ..engine.fastsim import FastSimulator
 
-        result = FastSimulator(schedule).run(input_blocks)
+        result = FastSimulator(schedule, detector=detector).run(input_blocks)
     else:
         result = OverlaySimulator(schedule, record_trace=record_trace).run(input_blocks)
     if verify:

@@ -94,8 +94,17 @@ class TestSteadyStateFastForward:
     def test_long_stream_matches_cycle_engine(self, name, variant):
         assert_identical(name, variant, num_blocks=96, seed=11)
 
-    def test_fast_forward_actually_engages(self):
+    @pytest.mark.parametrize("detector", ["occupancy", "legacy"])
+    def test_fast_forward_actually_engages(self, detector):
         """At 96 blocks the engine must skip, not silently run every cycle."""
+        schedule = _schedule_for("qspline", V1)
+        blocks = random_input_blocks(schedule.dfg, 96, seed=11)
+        simulator = FastSimulator(schedule, detector=detector)
+        simulator.run(blocks)
+        assert simulator.fast_forward_events
+
+    def test_legacy_skip_applier_still_hooked(self):
+        """The legacy detector routes through the patchable class hook."""
         schedule = _schedule_for("qspline", V1)
         blocks = random_input_blocks(schedule.dfg, 96, seed=11)
         engaged = []
@@ -110,7 +119,7 @@ class TestSteadyStateFastForward:
 
         FastSimulator._apply_fast_forward = staticmethod(probe)
         try:
-            FastSimulator(schedule).run(blocks)
+            FastSimulator(schedule, detector="legacy").run(blocks)
         finally:
             FastSimulator._apply_fast_forward = staticmethod(original)
         assert any(result is not None for result in engaged)

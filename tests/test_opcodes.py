@@ -5,6 +5,7 @@ import pytest
 from repro.dfg.opcodes import (
     COMPUTE_OPCODES,
     OP_ARITY,
+    OP_EXPRESSIONS,
     OP_SEMANTICS,
     OpCode,
     parse_opcode,
@@ -89,6 +90,29 @@ class TestSemantics:
 
     def test_pass_is_identity(self):
         assert OP_SEMANTICS[OpCode.PASS](42) == 42
+
+
+class TestExpressionTable:
+    """OP_EXPRESSIONS (inlined by compiled evaluation plans) must mirror
+    OP_SEMANTICS exactly — one drifting entry would silently corrupt every
+    fast-engine output stream."""
+
+    def test_every_semantic_opcode_has_an_expression(self):
+        assert set(OP_EXPRESSIONS) == set(OP_SEMANTICS)
+
+    @pytest.mark.parametrize("opcode", sorted(OP_SEMANTICS, key=lambda o: o.name))
+    def test_expression_matches_semantics_on_probe_operands(self, opcode):
+        probes = [-(2 ** 31), -65, -1, 0, 1, 3, 64, 2 ** 20, 2 ** 31 - 1]
+        arity = OP_ARITY[opcode]
+        template = OP_EXPRESSIONS[opcode]
+        for base in probes:
+            operands = [base + i for i in range(arity)]
+            via_expr = eval(  # noqa: S307 - fixed expression table under test
+                template.format(*[repr(o) for o in operands])
+            )
+            # The compiled plan wraps after each step exactly like evaluate().
+            wrapped = ((via_expr + 2 ** 31) % 2 ** 32) - 2 ** 31
+            assert wrapped == opcode.evaluate(*operands), (opcode, operands)
 
 
 class TestParseOpcode:
