@@ -1,0 +1,96 @@
+"""Session-API overhead gate: the :class:`~repro.api.Toolchain` facade must
+add no per-call work on the warm compile path.
+
+The facade's warm ``compile`` does: one DFG content hash (to key its
+resolved-overlay memo), one dictionary lookup (built overlay + precomputed
+cache key), one keyed cache hit and one handle construction.  A raw warm
+:meth:`~repro.engine.cache.ScheduleCache.get_or_compile` hit does: one DFG
+content hash (inside ``CacheKey.for_mapping``) and one dictionary lookup.
+Both are dominated by the content hash, so the facade stays within
+``MAX_OVERHEAD_RATIO`` (1.2x) of the raw hit — that ratio is this bench's
+acceptance gate, recorded as ``api_compile_overhead_ratio`` in
+``BENCH_results.json``.
+
+A second metric (``api_evaluate_speedup``, informational) records how much
+faster the memoised warm :meth:`~repro.api.Toolchain.evaluate` is than the
+historical per-call analytic evaluation (resource estimate + ASAP levels on
+fresh graph walks every call).
+"""
+
+import time
+
+from repro.api import Toolchain
+from repro.engine.cache import ScheduleCache
+from repro.kernels import get_kernel
+from repro.metrics.performance import analytic_performance
+from repro.specs import OverlaySpec
+
+#: Warm-compile calls per timing sample.
+CALLS = 2000
+
+#: Timing samples per contender (the minimum is used, squeezing out noise).
+SAMPLES = 5
+
+#: The acceptance gate: warm facade compile vs raw warm cache hit.
+MAX_OVERHEAD_RATIO = 1.2
+
+
+def _best_of(fn, calls=CALLS, samples=SAMPLES) -> float:
+    best = float("inf")
+    for _ in range(samples):
+        started = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_warm_compile_overhead_gate(record_metric, save_result):
+    """Warm ``Toolchain.compile`` stays within 1.2x of a raw cache hit."""
+    cache = ScheduleCache()
+    toolchain = Toolchain(cache=cache)
+    dfg = get_kernel("gradient")
+    spec = OverlaySpec("v1")
+    overlay = toolchain.compile(dfg, spec).overlay  # warm both paths
+
+    raw_s = _best_of(lambda: cache.get_or_compile(dfg, overlay))
+    api_s = _best_of(lambda: toolchain.compile(dfg, spec))
+    ratio = api_s / raw_s
+
+    record_metric("api_compile_overhead_ratio", ratio)
+    save_result(
+        "api_overhead",
+        "\n".join(
+            [
+                "warm compile path, best of "
+                f"{SAMPLES} x {CALLS} calls (gradient on V1x4):",
+                f"  raw ScheduleCache.get_or_compile hit : {raw_s / CALLS * 1e6:8.2f} us/call",
+                f"  Toolchain.compile (session facade)   : {api_s / CALLS * 1e6:8.2f} us/call",
+                f"  overhead ratio                       : {ratio:8.3f}x "
+                f"(gate: <= {MAX_OVERHEAD_RATIO}x)",
+            ]
+        ),
+    )
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"warm Toolchain.compile is {ratio:.2f}x a raw cache hit "
+        f"(gate: {MAX_OVERHEAD_RATIO}x) — the facade grew per-call work"
+    )
+
+
+def test_warm_evaluate_memoisation(record_metric):
+    """Warm ``Toolchain.evaluate`` beats re-running the analytic graph work."""
+    toolchain = Toolchain(cache=ScheduleCache())
+    handle = toolchain.compile(get_kernel("poly7"), OverlaySpec("v1"))
+    toolchain.evaluate(handle)  # populate the spec-keyed memo
+
+    recompute_s = _best_of(
+        lambda: analytic_performance(handle.dfg, handle.overlay, handle.schedule),
+        calls=200,
+    )
+    memoised_s = _best_of(lambda: toolchain.evaluate(handle), calls=200)
+    speedup = recompute_s / memoised_s
+
+    record_metric("api_evaluate_speedup", speedup)
+    # The memoised path only copies a dataclass; it must not be slower than
+    # redoing the resource/level/II analysis on every call.
+    assert speedup >= 1.0

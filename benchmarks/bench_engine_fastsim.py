@@ -15,6 +15,7 @@ multi-x speedup.
 import time
 
 from repro.engine.sweep import build_grid, run_sweep
+from repro.specs import OverlaySpec, SimSpec
 
 #: One streamed block count for the whole grid: long enough that the
 #: steady-state fast-forward dominates, short enough for CI.
@@ -23,8 +24,13 @@ SWEEP_BLOCKS = 512
 MEASURED_FIELDS = ("measured_ii", "latency_cycles", "total_cycles")
 
 
+_OVERLAYS = (OverlaySpec("v1"), OverlaySpec("v2"))
+
+
 def _grid(engine: str):
-    return build_grid(variants=("v1", "v2"), num_blocks=SWEEP_BLOCKS, engine=engine)
+    return build_grid(
+        overlays=_OVERLAYS, sim=SimSpec(engine=engine, num_blocks=SWEEP_BLOCKS)
+    )
 
 
 def _warm_compile_cache():
@@ -34,7 +40,10 @@ def _warm_compile_cache():
     first would otherwise absorb all scheduling/codegen time and skew the
     before/after comparison, which is meant to measure *engine* speed.
     """
-    run_sweep(build_grid(variants=("v1", "v2"), num_blocks=1), jobs=1)
+    run_sweep(
+        build_grid(overlays=_OVERLAYS, sim=SimSpec(engine="fast", num_blocks=1)),
+        jobs=1,
+    )
 
 
 def test_fig5_sim_sweep_cycle_engine(benchmark):

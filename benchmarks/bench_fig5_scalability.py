@@ -10,6 +10,7 @@ the paper states explicitly (654 slices / 8 DSPs for the depth-8 V1 overlay,
 import pytest
 
 from repro.engine.sweep import build_grid, run_sweep
+from repro.specs import OverlaySpec, SimSpec
 from repro.metrics.tables import render_fig5_series
 from repro.overlay.resources import (
     estimate_resources,
@@ -60,7 +61,10 @@ def test_fig5_simulated_scalability_sweep(benchmark, save_result):
     depths span 4..13 FUs, so sweeping every kernel on V1/V2 through the
     parallel sweep runner measures how II and latency scale with the
     cascade depth (and cross-checks the analytic II at every point)."""
-    grid = build_grid(variants=("v1", "v2"), num_blocks=64)
+    grid = build_grid(
+        overlays=(OverlaySpec("v1"), OverlaySpec("v2")),
+        sim=SimSpec(engine="fast", num_blocks=64),
+    )
     results = benchmark.pedantic(
         run_sweep, args=(grid,), kwargs={"jobs": 1}, rounds=1, iterations=1
     )

@@ -15,14 +15,15 @@ cycle-accurate simulator and compared in a small table.
 
 Both frontends (`repro.frontend.parse_c_kernel`, `repro.frontend.trace_kernel`)
 and their content-hashed caching are documented in docs/compiler.md; the
-overall flow in docs/architecture.md.  The same mini-C path is available from
-the shell as `repro-overlay map --source my_kernel.c`.
+`Toolchain` session API used to compile/evaluate/simulate them in
+docs/api.md.  The same mini-C path is available from the shell as
+`repro-overlay map --source my_kernel.c`.
 
 Run with:  python examples/custom_kernel.py
 """
 
-from repro import map_kernel
-from repro.frontend import parse_c_kernel, trace_kernel
+from repro import OverlaySpec, SimSpec, Toolchain
+from repro.frontend import trace_kernel
 from repro.metrics.tables import format_table
 
 
@@ -46,36 +47,49 @@ def sobel(p00, p01, p02, p10, p12, p20, p21, p22):
     return gx.sqr() + gy.sqr()
 
 
-def evaluate(kernel_dfg, variants=("baseline", "v1", "v2", "v3")):
+def evaluate(toolchain, kernel, variants=("baseline", "v1", "v2", "v3")):
+    """Compile/evaluate/simulate one kernel on several overlay variants.
+
+    ``kernel`` is a DFG or mini-C source text — `Toolchain.compile` takes
+    both (`source=` routes through the content-hashed frontend cache).
+    """
     rows = []
+    handle = None
     for variant in variants:
-        result = map_kernel(kernel_dfg, variant, simulate=True, num_blocks=10)
+        spec = OverlaySpec(variant)
+        if isinstance(kernel, str):
+            handle = toolchain.compile(source=kernel, overlay=spec)
+        else:
+            handle = toolchain.compile(kernel, spec)
+        performance = toolchain.evaluate(handle)
+        simulation = toolchain.simulate(handle, SimSpec(num_blocks=10))
         rows.append(
             [
                 variant,
-                result.overlay.depth,
-                result.performance.ii,
-                round(result.performance.throughput_gops, 2),
-                round(result.performance.latency_ns, 1),
-                result.configuration.size_bytes,
-                "PASS" if result.simulation.matches_reference else "FAIL",
+                handle.overlay.depth,
+                performance.ii,
+                round(performance.throughput_gops, 2),
+                round(performance.latency_ns, 1),
+                handle.configuration.size_bytes,
+                "PASS" if simulation.matches_reference else "FAIL",
             ]
         )
+    dfg = handle.dfg
     return format_table(
         ["overlay", "FUs", "II", "GOPS", "latency_ns", "config_B", "verified"],
         rows,
-        title=f"kernel {kernel_dfg.name!r}: {kernel_dfg.num_operations} ops, "
-        f"I/O {kernel_dfg.io_signature}",
+        title=f"kernel {dfg.name!r}: {dfg.num_operations} ops, "
+        f"I/O {dfg.io_signature}",
     )
 
 
 def main() -> None:
-    fir5 = parse_c_kernel(FIR5_C_SOURCE)
+    toolchain = Toolchain()
     sobel_dfg = trace_kernel(sobel, num_inputs=8, name="sobel")
 
-    print(evaluate(fir5))
+    print(evaluate(toolchain, FIR5_C_SOURCE))
     print()
-    print(evaluate(sobel_dfg))
+    print(evaluate(toolchain, sobel_dfg))
     print()
     print(
         "Note how the fixed-depth V3 overlay can absorb both kernels without\n"

@@ -14,15 +14,16 @@ rotates through four kernels of the benchmark set, and reports:
 * the total time to process a batch of data blocks per kernel, including the
   context switches — the number a system designer actually cares about.
 
-The APIs used here (`repro.map_kernel`, the context-switch model, the
-resource/Fmax models) are mapped in docs/architecture.md; for runtime-style
-kernel management see `repro.runtime.manager.OverlayRuntime`, whose compile
-path is documented in docs/compiler.md.
+The APIs used here (the `Toolchain` session, the context-switch model, the
+resource/Fmax models) are mapped in docs/api.md and docs/architecture.md;
+for runtime-style kernel management see `Toolchain.runtime()` /
+`repro.runtime.manager.OverlayRuntime`, whose compile path is documented in
+docs/compiler.md.
 
 Run with:  python examples/multi_kernel_accelerator.py
 """
 
-from repro import map_kernel
+from repro import OverlaySpec, Toolchain
 from repro.metrics.tables import format_table
 from repro.overlay.context_switch import context_switch_time_s
 from repro.overlay.resources import overlay_fmax_mhz
@@ -30,29 +31,31 @@ from repro.overlay.resources import overlay_fmax_mhz
 WORKLOAD = ["gradient", "qspline", "poly6", "sgfilter"]
 BLOCKS_PER_KERNEL = 2000
 
+TOOLCHAIN = Toolchain()
 
-def policy_rows(policy_name, variant, fixed_depth=None):
-    """Evaluate one overlay policy across the workload."""
+
+def policy_rows(policy_name, overlay_spec):
+    """Evaluate one overlay policy (an OverlaySpec) across the workload."""
     rows = []
     total_time_us = 0.0
     previous_depth = None
     for kernel in WORKLOAD:
-        result = map_kernel(kernel, variant, depth=fixed_depth)
-        performance = result.performance
+        handle = TOOLCHAIN.compile(kernel, overlay_spec)
+        performance = TOOLCHAIN.evaluate(handle)
         # Hardware context switch when this kernel replaces the previous one.
         switch = context_switch_time_s(
-            result.overlay,
-            instruction_words=result.configuration.total_words,
+            handle.overlay,
+            instruction_words=handle.configuration.total_words,
             kernel_depth=previous_depth,
         )
-        fmax_hz = overlay_fmax_mhz(result.overlay.variant, result.overlay.depth) * 1e6
+        fmax_hz = overlay_fmax_mhz(handle.overlay.variant, handle.overlay.depth) * 1e6
         compute_time_s = BLOCKS_PER_KERNEL * performance.ii / fmax_hz
         total_s = compute_time_s + switch.total_time_s
         total_time_us += total_s * 1e6
         rows.append(
             [
                 kernel,
-                result.overlay.name,
+                handle.overlay.name,
                 performance.ii,
                 round(performance.throughput_gops, 2),
                 f"{switch.total_time_s * 1e6:.2f}",
@@ -60,7 +63,7 @@ def policy_rows(policy_name, variant, fixed_depth=None):
                 f"{total_s * 1e6:.1f}",
             ]
         )
-        previous_depth = result.performance.kernel_depth
+        previous_depth = performance.kernel_depth
     table = format_table(
         ["kernel", "overlay", "II", "GOPS", "switch_us", "compute_us", "total_us"],
         rows,
@@ -76,10 +79,12 @@ def main() -> None:
     )
 
     v1_table, v1_total = policy_rows(
-        "per-kernel V1 overlay (partial reconfiguration between kernels)", "v1"
+        "per-kernel V1 overlay (partial reconfiguration between kernels)",
+        OverlaySpec("v1"),
     )
     v3_table, v3_total = policy_rows(
-        "single fixed depth-8 V3 overlay (instruction-memory update only)", "v3"
+        "single fixed depth-8 V3 overlay (instruction-memory update only)",
+        OverlaySpec("v3", depth=8),
     )
 
     print(v1_table)

@@ -2,28 +2,31 @@
 """Quickstart: map the paper's 'gradient' kernel onto a V1 overlay.
 
 This walks the complete tool flow of the paper on its running example
-(Fig. 2 / Table II):
+(Fig. 2 / Table II) through the `Toolchain` session API:
 
 1. take the gradient kernel (extracted from its C source by the mini-C
    frontend),
-2. size a V1 overlay to its critical path and schedule it with ASAP,
-3. generate the per-FU instruction streams and the configuration image,
-4. run the cycle-accurate simulator on a stream of data blocks, verify the
-   results against the golden reference model, and print the Table II style
-   cycle-by-cycle schedule,
-5. report II, throughput and latency, next to the numbers the paper quotes.
+2. compile it against an `OverlaySpec("v1")` — the overlay is sized to the
+   kernel's critical path and scheduled with ASAP, the per-FU instruction
+   streams and the configuration image are generated, everything lands in
+   the session's compile cache,
+3. evaluate the analytic metrics (II, throughput, latency — memoised on the
+   compiled artifact),
+4. run the cycle-accurate simulator on a stream of data blocks via a
+   `SimSpec`, verify the results against the golden reference model, and
+   print the Table II style cycle-by-cycle schedule,
+5. report the numbers next to the ones the paper quotes.
 
-The APIs used here are documented in docs/architecture.md (pipeline map:
-`repro.map_kernel`, `repro.sim.simulate_schedule`) and docs/compiler.md (the
-mini-C frontend behind `repro.kernels.library.GRADIENT_C_SOURCE`).
+The session API is documented in docs/api.md (spec objects, lifecycle,
+migration from the old entry points); the pipeline behind it in
+docs/architecture.md and docs/compiler.md.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import map_kernel
+from repro import OverlaySpec, SimSpec, Toolchain
 from repro.kernels.library import GRADIENT_C_SOURCE
 from repro.sim.trace import render_schedule_table
-from repro.sim.overlay import simulate_schedule
 from repro.visualize import schedule_listing
 
 
@@ -35,38 +38,47 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Full tool flow: schedule, codegen, configuration image, metrics.
     # ------------------------------------------------------------------
-    result = map_kernel("gradient", "v1", simulate=True, num_blocks=12)
+    toolchain = Toolchain()
+    handle = toolchain.compile("gradient", OverlaySpec("v1"))
+    performance = toolchain.evaluate(handle)
 
     print("=" * 72)
-    print("Overlay:", result.overlay.describe())
+    print("Overlay:", handle.overlay.describe())
     print()
-    print(schedule_listing(result.schedule))
+    print(schedule_listing(handle.schedule))
 
     print()
     print("Generated FU programs:")
-    print(result.program.listing())
-    print(f"\nConfiguration image: {result.configuration.size_bytes} bytes "
-          f"({result.configuration.total_instruction_words} instruction words)")
+    print(handle.program.listing())
+    print(f"\nConfiguration image: {handle.configuration.size_bytes} bytes "
+          f"({handle.configuration.total_instruction_words} instruction words)")
 
     # ------------------------------------------------------------------
-    # Cycle-accurate simulation with tracing (paper Table II).
+    # Cycle-accurate simulation, then a traced run (paper Table II).
     # ------------------------------------------------------------------
-    traced = simulate_schedule(result.schedule, num_blocks=6, record_trace=True)
+    simulation = toolchain.simulate(handle, SimSpec(num_blocks=12))
+    traced = toolchain.simulate(handle, SimSpec(num_blocks=6, trace=True))
     print()
     print("First 32 cycles of the steady-state schedule (paper Table II):")
-    print(render_schedule_table(traced.trace, result.overlay.depth, num_cycles=32))
+    print(render_schedule_table(traced.trace, handle.overlay.depth, num_cycles=32))
 
     # ------------------------------------------------------------------
     # Results.
     # ------------------------------------------------------------------
     print()
     print("=" * 72)
-    print(result.summary())
+    print(f"kernel {handle.kernel_name!r} on {handle.overlay.name}")
+    print(f"  II                : {performance.ii}")
+    print(f"  fmax              : {performance.fmax_mhz:.0f} MHz")
+    print(f"  throughput        : {performance.throughput_gops:.2f} GOPS")
+    print(f"  latency           : {performance.latency_ns:.1f} ns")
+    print(f"  measured II       : {simulation.measured_ii:.2f} "
+          f"({simulation.num_blocks} blocks simulated)")
     print()
     print("Paper reference points: II = 6, throughput = 0.59 GOPS, "
           "latency = 86.8 ns on the V1 overlay.")
     print(f"Functional verification against the reference model: "
-          f"{'PASS' if result.simulation.matches_reference else 'FAIL'}")
+          f"{'PASS' if simulation.matches_reference else 'FAIL'}")
 
 
 if __name__ == "__main__":

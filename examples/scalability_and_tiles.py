@@ -8,14 +8,16 @@ dual-overlay tiles (two depth-8 V3 overlays plus a Hoplite-style router) fit
 on the device.
 
 The overlay/resource APIs used here (`repro.overlay.resources`,
-`repro.overlay.tile`) are mapped in docs/architecture.md; the Fig. 5 sweep is
-also available from the shell as `repro-overlay scalability --variant v1`.
+`repro.overlay.tile`) are mapped in docs/architecture.md; the overlay
+instances are described by `OverlaySpec` objects (docs/api.md) and the
+Fig. 5 sweep is also available from the shell as `repro-overlay scalability
+--variant v1`.
 
 Run with:  python examples/scalability_and_tiles.py
 """
 
+from repro import OverlaySpec
 from repro.metrics.tables import format_table
-from repro.overlay.architecture import LinearOverlay
 from repro.overlay.resources import (
     ZYNQ_XC7Z020_DSP_BLOCKS,
     ZYNQ_XC7Z020_LOGIC_SLICES,
@@ -49,7 +51,9 @@ def scalability_table():
 def tile_study():
     lines = []
     for topology in (TileTopology.PARALLEL, TileTopology.SERIES):
-        tile = OverlayTile(overlay=LinearOverlay.fixed("v3", 8), topology=topology)
+        tile = OverlayTile(
+            overlay=OverlaySpec("v3", depth=8).build_overlay(), topology=topology
+        )
         resources = tile.resources()
         count = max_tiles_on_device(
             tile, ZYNQ_XC7Z020_LOGIC_SLICES, ZYNQ_XC7Z020_DSP_BLOCKS

@@ -16,24 +16,25 @@ The package implements the paper's complete system in pure Python:
   measures II / latency while checking functional correctness
   (:mod:`repro.sim`),
 * the **metrics and baselines** used to regenerate every table and figure of
-  the paper's evaluation (:mod:`repro.metrics`, :mod:`repro.baseline`).
+  the paper's evaluation (:mod:`repro.metrics`, :mod:`repro.baseline`),
+* the **session API** — the :class:`~repro.api.Toolchain` facade and the
+  typed spec objects of :mod:`repro.specs`, the one front door every other
+  entry point (CLI, runtime manager, sweeps, compatibility shims) adapts to.
 
 Quickstart
 ----------
->>> from repro import map_kernel
->>> result = map_kernel("gradient", "v1", simulate=True)
->>> round(result.performance.ii, 1)
+>>> from repro import Toolchain, OverlaySpec, SimSpec
+>>> tc = Toolchain()
+>>> handle = tc.compile("gradient", OverlaySpec("v1"))
+>>> round(tc.evaluate(handle).ii, 1)
 6.0
->>> result.simulation.matches_reference
+>>> tc.simulate(handle, SimSpec(num_blocks=6)).matches_reference
 True
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Union
-
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .dfg import DFG, DFGBuilder, OpCode
 from .engine import (
@@ -55,112 +56,15 @@ from .program.codegen import OverlayProgram, generate_program
 from .program.binary import ConfigurationImage, build_configuration_image
 from .schedule import OverlaySchedule, analytic_ii, schedule_kernel
 from .sim import SimulationResult, simulate_schedule
-
-
-@dataclass
-class MappingResult:
-    """Everything produced by :func:`map_kernel` for one kernel/overlay pair."""
-
-    dfg: DFG
-    overlay: LinearOverlay
-    schedule: OverlaySchedule
-    program: OverlayProgram
-    configuration: ConfigurationImage
-    performance: PerformanceResult
-    simulation: Optional[SimulationResult] = None
-
-    @property
-    def ii(self) -> float:
-        return self.performance.ii
-
-    def summary(self) -> str:
-        lines = [
-            f"kernel {self.dfg.name!r} on {self.overlay.name}",
-            f"  II                : {self.performance.ii}",
-            f"  fmax              : {self.performance.fmax_mhz:.0f} MHz",
-            f"  throughput        : {self.performance.throughput_gops:.2f} GOPS",
-            f"  latency           : {self.performance.latency_ns:.1f} ns",
-            f"  configuration size: {self.configuration.size_bytes} bytes",
-        ]
-        if self.simulation is not None:
-            ii = self.simulation.measured_ii
-            lines.append(
-                f"  simulation        : II={'n/a' if ii is None else format(ii, '.2f')}, "
-                f"reference match={self.simulation.matches_reference}"
-            )
-        return "\n".join(lines)
-
-
-def map_kernel(
-    kernel: Union[str, DFG],
-    variant: Union[str, object] = "v1",
-    depth: Optional[int] = None,
-    simulate: bool = False,
-    num_blocks: int = 12,
-    engine: str = "cycle",
-) -> MappingResult:
-    """Run the full tool flow for one kernel on one overlay variant.
-
-    Parameters
-    ----------
-    kernel:
-        A benchmark kernel name (see :func:`repro.kernels.kernel_names`) or a
-        ready-made :class:`~repro.dfg.graph.DFG`.
-    variant:
-        FU variant name (``"baseline"``, ``"v1"`` ... ``"v5"``) or a
-        :class:`~repro.overlay.fu.FUVariant`.
-    depth:
-        Overlay depth override.  By default, write-back variants use the
-        paper's fixed depth of 8 and the other variants match the kernel's
-        critical path.
-    simulate:
-        Also run the simulator (verifies functional correctness and measures
-        II / latency).
-    engine:
-        Simulation engine for ``simulate=True``: ``"cycle"`` (the
-        cycle-accurate reference) or ``"fast"`` (the event-driven engine of
-        :mod:`repro.engine.fastsim`, identical results).
-
-    Compilation goes through the process-wide compiled-schedule cache, so
-    mapping the same kernel/overlay pair repeatedly is effectively free.
-    """
-    dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
-    fu = get_variant(variant)
-    if depth is not None:
-        overlay = (
-            LinearOverlay.fixed(fu, depth) if fu.write_back else LinearOverlay(fu, depth)
-        )
-    elif fu.write_back:
-        overlay = LinearOverlay.fixed(fu)
-    else:
-        overlay = LinearOverlay.for_kernel(fu, dfg)
-
-    compiled = default_cache().get_or_compile(dfg, overlay)
-    schedule = compiled.schedule
-    performance = evaluate_kernel(
-        dfg,
-        fu,
-        fixed_depth=overlay.depth if overlay.fixed_depth else None,
-        simulate=False,
-    )
-    simulation: Optional[SimulationResult] = None
-    if simulate:
-        simulation = simulate_schedule(schedule, num_blocks=num_blocks, engine=engine)
-        performance.measured_ii = simulation.measured_ii
-        performance.latency_cycles = float(simulation.latency_cycles)
-        performance.reference_match = simulation.matches_reference
-        performance.simulated = True
-
-    return MappingResult(
-        dfg=dfg,
-        overlay=overlay,
-        schedule=schedule,
-        program=compiled.program,
-        configuration=compiled.configuration,
-        performance=performance,
-        simulation=simulation,
-    )
-
+from .specs import OverlaySpec, SimSpec, SweepSpec
+from .api import (
+    CompiledHandle,
+    MappingResult,
+    Toolchain,
+    default_toolchain,
+    map_kernel,
+)
+from .runtime import OverlayRuntime, RuntimeManager
 
 __all__ = [
     "__version__",
@@ -187,8 +91,16 @@ __all__ = [
     "simulate_schedule",
     "PerformanceResult",
     "evaluate_kernel",
+    "OverlaySpec",
+    "SimSpec",
+    "SweepSpec",
+    "Toolchain",
+    "CompiledHandle",
+    "default_toolchain",
     "MappingResult",
     "map_kernel",
+    "OverlayRuntime",
+    "RuntimeManager",
     "FastSimulator",
     "simulate_fast",
     "ScheduleCache",

@@ -1,0 +1,483 @@
+"""The unified :class:`Toolchain` session API.
+
+The paper's flow is compile-once / load / execute-many; this module is the
+one front door to it.  A :class:`Toolchain` owns a compiled-schedule cache
+(constructor-injected; the process-wide :func:`~repro.engine.cache.
+default_cache` is only the default argument) and exposes the whole tool flow
+through typed spec objects (:mod:`repro.specs`):
+
+>>> from repro import Toolchain, OverlaySpec, SimSpec
+>>> tc = Toolchain()
+>>> handle = tc.compile("gradient", OverlaySpec("v1"))
+>>> tc.evaluate(handle).ii
+6.0
+>>> tc.simulate(handle, SimSpec(num_blocks=6)).matches_reference
+True
+
+Everything the historical entry points did — ``map_kernel``,
+``evaluate_kernel``, ``OverlayRuntime.register``, ``run_point``, the CLI —
+is now a thin adapter over this facade; knobs travel exclusively inside
+:class:`~repro.specs.OverlaySpec` / :class:`~repro.specs.SimSpec` /
+:class:`~repro.specs.SweepSpec` objects.
+
+Two :class:`Toolchain` instances with separately injected caches share no
+compiled state: handles, memoised analytic evaluations and compiled
+artifacts are all scoped to the session's cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple, Union
+
+from .dfg.graph import DFG
+from .dfg.serialize import dfg_fingerprint
+from .engine.cache import CacheKey, CompiledKernel, ScheduleCache, default_cache
+from .errors import CodegenError, ConfigurationError
+from .kernels.library import get_kernel
+from .metrics.performance import PerformanceResult, analytic_performance
+from .overlay.architecture import LinearOverlay
+from .program.binary import ConfigurationImage
+from .program.codegen import OverlayProgram
+from .schedule.types import OverlaySchedule
+from .sim.overlay import SimulationResult, simulate_schedule_with
+from .specs import OverlaySpec, SimSpec, SweepSpec
+
+
+@dataclass
+class CompiledHandle:
+    """A spec-keyed compiled kernel, handed out by :meth:`Toolchain.compile`.
+
+    ``program`` and ``configuration`` are ``None`` only for schedule-only
+    handles (kernels that schedule fine but exceed the variant's register
+    file or instruction memory; see ``allow_schedule_only``) — those still
+    evaluate analytically and simulate (the simulator runs from the
+    schedule), but have no binary to load onto a runtime.
+    """
+
+    dfg: DFG
+    overlay: LinearOverlay
+    spec: OverlaySpec
+    schedule: OverlaySchedule
+    program: Optional[OverlayProgram]
+    configuration: Optional[ConfigurationImage]
+    key: CacheKey
+    warmup_bound_cycles: int = 0
+
+    @property
+    def schedule_only(self) -> bool:
+        return self.program is None
+
+    @property
+    def kernel_name(self) -> str:
+        return self.dfg.name
+
+
+class Toolchain:
+    """One session of the compile / evaluate / simulate / sweep tool flow.
+
+    Parameters
+    ----------
+    cache:
+        The compiled-schedule cache this session compiles through.  Defaults
+        to the process-wide :func:`~repro.engine.cache.default_cache`; inject
+        a private :class:`~repro.engine.cache.ScheduleCache` to isolate the
+        session's compiled state (two sessions with separate caches share
+        nothing).
+    """
+
+    def __init__(self, cache: Optional[ScheduleCache] = None):
+        self.cache = cache if cache is not None else default_cache()
+        #: (DFG fingerprint, overlay spec) -> (built overlay, resolved spec,
+        #: cache key).  Only *derived sizing* is memoised here — the compiled
+        #: artifacts themselves always come from the injected cache, so its
+        #: statistics and ``clear()`` stay truthful.
+        self._resolved: "OrderedDict[Tuple, Tuple[LinearOverlay, OverlaySpec, CacheKey]]" = (
+            OrderedDict()
+        )
+        self._analytic: "OrderedDict[CacheKey, PerformanceResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # compile
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        kernel: Union[str, DFG, None] = None,
+        overlay: OverlaySpec = OverlaySpec(),
+        *,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+        allow_schedule_only: bool = False,
+    ) -> CompiledHandle:
+        """Compile a kernel (library name, DFG, or mini-C ``source``).
+
+        Goes through the session cache, so a warm call is a dictionary
+        lookup.  With ``allow_schedule_only=True``, kernels whose codegen
+        overflows the register file / instruction memory come back as
+        schedule-only handles instead of raising
+        :class:`~repro.errors.CodegenError`.
+        """
+        if not isinstance(overlay, OverlaySpec):
+            raise ConfigurationError(
+                "overlay must be an OverlaySpec (raw variant/depth kwargs "
+                "moved into repro.specs.OverlaySpec)"
+            )
+        if source is not None:
+            if kernel is not None:
+                raise ConfigurationError("pass either a kernel or source, not both")
+            return self._compile_source(source, overlay, name, allow_schedule_only)
+        if kernel is None:
+            raise ConfigurationError("provide a kernel (name or DFG) or source=")
+        dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
+        built, resolved, key = self._resolve(dfg, overlay)
+        try:
+            compiled = self.cache.get_or_compile_keyed(key, dfg, built)
+            return self._handle_from_compiled(dfg, built, resolved, key, compiled)
+        except CodegenError:
+            if not allow_schedule_only:
+                raise
+            schedule = self.cache.get_schedule(dfg, built)
+            return CompiledHandle(
+                dfg=dfg,
+                overlay=built,
+                spec=resolved,
+                schedule=schedule,
+                program=None,
+                configuration=None,
+                key=key,
+            )
+
+    def _compile_source(
+        self,
+        source: str,
+        overlay: OverlaySpec,
+        name: Optional[str],
+        allow_schedule_only: bool = False,
+    ) -> CompiledHandle:
+        from .frontend.cache import default_frontend_cache
+        from .frontend.lexer import source_hash
+
+        skey = ("source", source_hash(source), name, overlay)
+        with self._lock:
+            entry = self._resolved.get(skey)
+            if entry is not None:
+                self._resolved.move_to_end(skey)
+        if entry is not None:
+            # Warm path: overlay sizing memoised, so compiling is the
+            # cache's pure source-index lookup — the DFG is never hashed.
+            built, resolved, key = entry
+        else:
+            # Cold: lower the source once (content-hashed frontend cache)
+            # to size the overlay and record the resolution.
+            dfg = default_frontend_cache().dfg(source, name=name)
+            built, resolved, key = self._resolve(dfg, overlay)
+            with self._lock:
+                self._resolved[skey] = (built, resolved, key)
+                self._resolved.move_to_end(skey)
+                while len(self._resolved) > 4 * self.cache.capacity:
+                    self._resolved.popitem(last=False)
+        try:
+            compiled = self.cache.get_or_compile_source(source, built, name=name)
+        except CodegenError:
+            if not allow_schedule_only:
+                raise
+            dfg = default_frontend_cache().dfg(source, name=name)
+            return CompiledHandle(
+                dfg=dfg,
+                overlay=built,
+                spec=resolved,
+                schedule=self.cache.get_schedule(dfg, built),
+                program=None,
+                configuration=None,
+                key=key,
+            )
+        return self._handle_from_compiled(
+            compiled.schedule.dfg, built, resolved, key, compiled
+        )
+
+    def _resolve(
+        self, dfg: DFG, spec: OverlaySpec
+    ) -> Tuple[LinearOverlay, OverlaySpec, CacheKey]:
+        """Built overlay, concrete spec and cache key for (kernel, spec).
+
+        Memoised per (DFG fingerprint, spec) so a warm :meth:`compile`
+        hashes the DFG once and re-derives nothing (no critical-path
+        sizing, no second hash inside the cache lookup).
+        """
+        fingerprint = dfg_fingerprint(dfg)
+        rkey = (dfg.name, fingerprint, spec)
+        with self._lock:
+            entry = self._resolved.get(rkey)
+            if entry is not None:
+                self._resolved.move_to_end(rkey)
+                return entry
+        built = spec.build_overlay(dfg)
+        entry = (
+            built,
+            OverlaySpec(
+                variant=spec.variant,
+                depth=built.depth,
+                fixed=built.fixed_depth,
+                fifo_depth=spec.fifo_depth,
+            ),
+            CacheKey(
+                kernel_name=dfg.name,
+                dfg_hash=fingerprint,
+                variant_name=built.variant.name,
+                depth=built.depth,
+                fixed_depth=built.fixed_depth,
+                fifo_depth=built.fifo_depth,
+            ),
+        )
+        with self._lock:
+            self._resolved[rkey] = entry
+            self._resolved.move_to_end(rkey)
+            while len(self._resolved) > 4 * self.cache.capacity:
+                self._resolved.popitem(last=False)
+        return entry
+
+    def _handle_from_compiled(
+        self,
+        dfg: DFG,
+        built: LinearOverlay,
+        resolved: OverlaySpec,
+        key: CacheKey,
+        compiled: CompiledKernel,
+    ) -> CompiledHandle:
+        return CompiledHandle(
+            dfg=dfg,
+            overlay=built,
+            spec=resolved,
+            schedule=compiled.schedule,
+            program=compiled.program,
+            configuration=compiled.configuration,
+            key=key,
+            warmup_bound_cycles=compiled.warmup_bound_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # evaluate / simulate
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        handle: Union[CompiledHandle, str, DFG],
+        overlay: Optional[OverlaySpec] = None,
+        sim: Optional[SimSpec] = None,
+    ) -> PerformanceResult:
+        """Analytic performance of a compiled kernel (Fig. 6 quantities).
+
+        The analytic evaluation (resource estimate, ASAP levels / kernel
+        depth, II, latency model) is memoised on the spec-keyed compiled
+        artifact, so a warm call copies a cached result and does no graph
+        work.  Pass ``sim=SimSpec(...)`` to additionally measure II/latency
+        in the simulator and verify against the golden reference.
+
+        Accepts a handle from :meth:`compile`, or a kernel plus an
+        ``overlay`` spec (compiled on the fly, schedule-only fallback
+        included, which is what analytic sweeps over codegen-overflowing
+        kernels need).
+        """
+        if not isinstance(handle, CompiledHandle):
+            handle = self.compile(
+                handle, overlay or OverlaySpec(), allow_schedule_only=True
+            )
+        elif overlay is not None:
+            raise ConfigurationError(
+                "pass an overlay spec only when evaluating a kernel, not a handle"
+            )
+        with self._lock:
+            proto = self._analytic.get(handle.key)
+            if proto is not None:
+                self._analytic.move_to_end(handle.key)
+        if proto is None:
+            proto = analytic_performance(handle.dfg, handle.overlay, handle.schedule)
+            with self._lock:
+                self._analytic[handle.key] = proto
+                self._analytic.move_to_end(handle.key)
+                while len(self._analytic) > 4 * self.cache.capacity:
+                    self._analytic.popitem(last=False)
+        result = replace(proto)
+        if sim is not None:
+            _merge_measured(result, self.simulate(handle, sim))
+        return result
+
+    def simulate(
+        self, handle: CompiledHandle, sim: SimSpec = SimSpec()
+    ) -> SimulationResult:
+        """Run a data stream through a compiled kernel (spec-driven).
+
+        Schedule-only handles simulate too: the simulator runs from the
+        schedule, so a kernel whose codegen overflows the overlay's memories
+        can still be measured (exactly what the analytic sweeps and the
+        historical ``evaluate_kernel(simulate=True)`` path rely on).
+        """
+        if not isinstance(handle, CompiledHandle):
+            raise ConfigurationError("simulate() takes a handle from compile()")
+        return simulate_schedule_with(handle.schedule, sim)
+
+    # ------------------------------------------------------------------
+    # sweep / runtime
+    # ------------------------------------------------------------------
+    def sweep(self, spec: SweepSpec) -> List["SweepResult"]:
+        """Run a (kernels x overlays) grid through this session.
+
+        Serial execution (``jobs=1`` or a single point) uses this session's
+        injected cache; parallel execution fans out over worker processes,
+        each warming its own process-wide cache (share compilations across
+        workers via the ``REPRO_CACHE_DIR`` disk layer).
+        """
+        from .engine.sweep import run_sweep_spec
+
+        if not isinstance(spec, SweepSpec):
+            raise ConfigurationError("sweep() takes a repro.specs.SweepSpec")
+        return run_sweep_spec(spec, cache=self.cache)
+
+    def runtime(
+        self,
+        overlay: OverlaySpec = OverlaySpec(variant="v3", depth=8),
+        sim: SimSpec = SimSpec(),
+    ) -> "OverlayRuntime":
+        """An :class:`~repro.runtime.manager.OverlayRuntime` on this session.
+
+        The runtime registers kernels through this session's cache, so
+        compilations are shared with :meth:`compile` and :meth:`sweep`.
+        """
+        from .runtime.manager import OverlayRuntime
+
+        return OverlayRuntime(overlay, sim, cache=self.cache)
+
+
+def _merge_measured(result: PerformanceResult, measured: SimulationResult) -> None:
+    """Fold a simulation into an analytic result (the one simulate+evaluate
+    merge, shared by :meth:`Toolchain.evaluate` and :func:`map_kernel`)."""
+    from .metrics.performance import latency_ns
+
+    result.measured_ii = measured.measured_ii
+    result.reference_match = measured.matches_reference
+    result.latency_cycles = float(measured.latency_cycles)
+    result.latency_ns = latency_ns(result.latency_cycles, result.fmax_mhz)
+    result.simulated = True
+
+
+# ---------------------------------------------------------------------------
+# the default session + compatibility shims
+# ---------------------------------------------------------------------------
+_DEFAULT_TOOLCHAIN: Optional[Toolchain] = None
+_DEFAULT_TC_LOCK = threading.Lock()
+
+
+def default_toolchain() -> Toolchain:
+    """The process-wide session used by the compatibility shims.
+
+    It wraps :func:`~repro.engine.cache.default_cache`, so shim calls and
+    explicit ``Toolchain()`` sessions share compiled artifacts.
+    """
+    global _DEFAULT_TOOLCHAIN
+    with _DEFAULT_TC_LOCK:
+        if _DEFAULT_TOOLCHAIN is None:
+            _DEFAULT_TOOLCHAIN = Toolchain()
+        return _DEFAULT_TOOLCHAIN
+
+
+@dataclass
+class MappingResult:
+    """Everything produced by :func:`map_kernel` for one kernel/overlay pair."""
+
+    dfg: DFG
+    overlay: LinearOverlay
+    schedule: OverlaySchedule
+    program: OverlayProgram
+    configuration: ConfigurationImage
+    performance: PerformanceResult
+    simulation: Optional[SimulationResult] = None
+
+    @property
+    def ii(self) -> float:
+        return self.performance.ii
+
+    def summary(self) -> str:
+        lines = [
+            f"kernel {self.dfg.name!r} on {self.overlay.name}",
+            f"  II                : {self.performance.ii}",
+            f"  fmax              : {self.performance.fmax_mhz:.0f} MHz",
+            f"  throughput        : {self.performance.throughput_gops:.2f} GOPS",
+            f"  latency           : {self.performance.latency_ns:.1f} ns",
+            f"  configuration size: {self.configuration.size_bytes} bytes",
+        ]
+        if self.simulation is not None:
+            ii = self.simulation.measured_ii
+            lines.append(
+                f"  simulation        : II={'n/a' if ii is None else format(ii, '.2f')}, "
+                f"reference match={self.simulation.matches_reference}"
+            )
+        return "\n".join(lines)
+
+
+def map_kernel(
+    kernel: Union[str, DFG],
+    variant: Union[str, object] = "v1",
+    depth: Optional[int] = None,
+    simulate: bool = False,
+    num_blocks: int = 12,
+    engine: str = "cycle",
+) -> MappingResult:
+    """Run the full tool flow for one kernel on one overlay variant.
+
+    Compatibility adapter over :class:`Toolchain` (the session API): it
+    builds an :class:`~repro.specs.OverlaySpec`/:class:`~repro.specs.SimSpec`
+    and delegates, sharing the process-wide default session and cache.
+
+    Parameters
+    ----------
+    kernel:
+        A benchmark kernel name (see :func:`repro.kernels.kernel_names`) or a
+        ready-made :class:`~repro.dfg.graph.DFG`.
+    variant:
+        FU variant name (``"baseline"``, ``"v1"`` ... ``"v5"``) or a
+        :class:`~repro.overlay.fu.FUVariant`.
+    depth:
+        Overlay depth override.  By default, write-back variants use the
+        paper's fixed depth of 8 and the other variants match the kernel's
+        critical path.  The reported performance now always describes the
+        overlay that was actually compiled (a depth override on V1/V2
+        historically evaluated the critical-path overlay instead).
+    simulate:
+        Also run the simulator (verifies functional correctness and measures
+        II / latency).
+    engine:
+        Simulation engine for ``simulate=True``: ``"cycle"`` (the
+        cycle-accurate reference) or ``"fast"`` (the event-driven engine of
+        :mod:`repro.engine.fastsim`, identical results).
+    """
+    toolchain = default_toolchain()
+    spec = OverlaySpec(variant=variant, depth=depth)
+    if depth is not None and not spec.is_fixed:
+        warnings.warn(
+            "map_kernel(depth=N) on a non-write-back variant now reports the "
+            "performance of the depth-N overlay it compiles (it used to "
+            "evaluate the critical-path overlay instead); construct an "
+            "OverlaySpec and use Toolchain.compile/evaluate directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    handle = toolchain.compile(kernel, spec)
+    performance = toolchain.evaluate(handle)
+    simulation: Optional[SimulationResult] = None
+    if simulate:
+        simulation = toolchain.simulate(
+            handle, SimSpec(engine=engine, num_blocks=num_blocks)
+        )
+        _merge_measured(performance, simulation)
+    return MappingResult(
+        dfg=handle.dfg,
+        overlay=handle.overlay,
+        schedule=handle.schedule,
+        program=handle.program,
+        configuration=handle.configuration,
+        performance=performance,
+        simulation=simulation,
+    )

@@ -2,8 +2,8 @@
 
 ``repro-overlay`` exposes the whole mapping flow from the shell::
 
-    repro-overlay kernels                         # list benchmark kernels
-    repro-overlay variants                        # list FU variants (Table I)
+    repro-overlay kernels [--json]                # list benchmark kernels
+    repro-overlay variants [--json]               # list FU variants (Table I)
     repro-overlay map --kernel gradient --variant v1
     repro-overlay map --source my_kernel.c --variant v2   # your own mini-C file
     repro-overlay simulate --kernel qspline --variant v3 --depth 8 --blocks 16
@@ -13,42 +13,107 @@
     repro-overlay dot --kernel qspline            # DFG in Graphviz DOT
     repro-overlay cache --stats                   # compile-cache statistics
 
-Every sub-command prints plain text to stdout, so the CLI is also how the
-examples and the EXPERIMENTS.md tables were produced.  ``map`` and
-``simulate`` accept either a library kernel (``--kernel``) or a mini-C source
-file (``--source``); sources are compiled through the end-to-end compile
-cache documented in ``docs/compiler.md``.
+Every sub-command prints plain text to stdout (``--json`` where offered
+switches to machine-readable rows), so the CLI is also how the examples and
+the EXPERIMENTS.md tables were produced.  ``map`` and ``simulate`` accept
+either a library kernel (``--kernel``) or a mini-C source file
+(``--source``); sources are compiled through the end-to-end compile cache
+documented in ``docs/compiler.md``.
+
+The overlay/simulation knobs are declared once by :func:`add_overlay_args`
+and :func:`add_sim_args` and parse straight into the spec objects of
+:mod:`repro.specs` (see ``docs/api.md``); every sub-command then drives the
+:class:`repro.api.Toolchain` facade.  ``--depth`` defaults to ``None`` (auto
+sizing) — the historical ``0`` sentinel is gone.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from . import __version__
-from .errors import ReproError
+from .api import CompiledHandle, Toolchain, default_toolchain
+from .errors import CodegenError, ReproError
 from .kernels import all_benchmarks, get_kernel, kernel_names
-from .metrics.performance import evaluate_kernel, evaluate_kernel_all_overlays
+from .metrics.performance import evaluate_kernel_all_overlays
 from .metrics.tables import render_fig5_series, render_table1, render_table3
-from .overlay.architecture import LinearOverlay
-from .overlay.fu import FU_VARIANTS, get_variant
+from .overlay.fu import FU_VARIANTS
 from .overlay.resources import scalability_sweep
 from .schedule import analytic_ii, schedule_kernel
-from .sim.overlay import simulate_schedule
 from .sim.trace import render_schedule_table
+from .specs import ENGINES, OverlaySpec, SimSpec, SweepSpec
 from .visualize import clusters_to_dot, dfg_to_dot, schedule_listing
 
 
-def _build_overlay(args, dfg) -> LinearOverlay:
-    variant = get_variant(args.variant)
-    if getattr(args, "depth", 0):
-        if variant.write_back:
-            return LinearOverlay.fixed(variant, args.depth)
-        return LinearOverlay(variant=variant, depth=args.depth)
-    if variant.write_back:
-        return LinearOverlay.fixed(variant)
-    return LinearOverlay.for_kernel(variant, dfg)
+# ---------------------------------------------------------------------------
+# shared argument groups <-> spec objects
+# ---------------------------------------------------------------------------
+def add_overlay_args(parser: argparse.ArgumentParser, default_variant: str = "v1") -> None:
+    """Declare the overlay knobs (parsed by :func:`overlay_spec_from_args`)."""
+    parser.add_argument("--variant", default=default_variant, choices=list(FU_VARIANTS))
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="override the overlay depth (default: auto sizing — critical "
+        "path for [14]/V1/V2, the paper's fixed depth 8 for V3-V5)",
+    )
+
+
+def add_sim_args(
+    parser: argparse.ArgumentParser,
+    default_engine: str = "cycle",
+    trace: bool = False,
+    verify_flag: bool = False,
+) -> None:
+    """Declare the simulation knobs (parsed by :func:`sim_spec_from_args`)."""
+    from .engine.fastsim import DETECTORS
+
+    parser.add_argument("--blocks", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine",
+        default=default_engine,
+        choices=ENGINES,
+        help="simulation core: cycle-accurate reference or the fast event-driven engine",
+    )
+    parser.add_argument(
+        "--detector",
+        default="occupancy",
+        choices=DETECTORS,
+        help="fast-engine steady-state detector (ignored by --engine cycle; "
+        "occupancy locks early on fixed-depth overlays, legacy is the "
+        "PR-1 detector kept for A/B)",
+    )
+    if trace:
+        parser.add_argument(
+            "--trace", action="store_true", help="print a Table II style trace"
+        )
+        parser.add_argument("--trace-cycles", type=int, default=32)
+    if verify_flag:
+        parser.add_argument(
+            "--no-verify", action="store_true", help="skip golden-reference verification"
+        )
+
+
+def overlay_spec_from_args(args: argparse.Namespace) -> OverlaySpec:
+    """The :class:`OverlaySpec` an :func:`add_overlay_args` parse describes."""
+    return OverlaySpec(variant=args.variant, depth=args.depth)
+
+
+def sim_spec_from_args(args: argparse.Namespace) -> SimSpec:
+    """The :class:`SimSpec` an :func:`add_sim_args` parse describes."""
+    return SimSpec(
+        engine=args.engine,
+        detector=args.detector,
+        num_blocks=args.blocks,
+        seed=args.seed,
+        trace=bool(getattr(args, "trace", False)),
+        verify=not getattr(args, "no_verify", False),
+    )
 
 
 def _load_kernel(args):
@@ -75,63 +140,76 @@ def _load_kernel(args):
     return get_kernel(args.kernel), None
 
 
-def _compile_kernel(dfg, source, overlay):
-    """Compile through the process-wide cache (source fast path when given).
+def _compile_handle(
+    toolchain: Toolchain, dfg, source: Optional[str], spec: OverlaySpec
+) -> CompiledHandle:
+    """Compile through the session (source fast path when given).
 
-    Returns ``(schedule, program_or_None)``; the program comes for free from
-    the cached :class:`~repro.engine.cache.CompiledKernel`.  Kernels that
-    schedule but exceed the register file / instruction memory fall back to
-    schedule-only compilation (``program`` is ``None``), so ``map`` and
-    ``simulate`` keep working for them.  The in-memory layer is empty in a
-    one-shot CLI process, but the disk layer (``REPRO_CACHE_DIR``) makes
-    repeated shell invocations skip the mapping flow entirely.
+    Kernels that schedule but exceed the register file / instruction memory
+    fall back to a schedule-only handle, so ``map`` and ``simulate`` keep
+    working for them.  The in-memory layer is empty in a one-shot CLI
+    process, but the disk layer (``REPRO_CACHE_DIR``) makes repeated shell
+    invocations skip the mapping flow entirely.
     """
-    from .engine.cache import default_cache
-    from .errors import CodegenError
-
     try:
         if source is not None:
-            compiled = default_cache().get_or_compile_source(source, overlay)
-        else:
-            compiled = default_cache().get_or_compile(dfg, overlay)
-        return compiled.schedule, compiled.program
+            return toolchain.compile(source=source, overlay=spec)
+        return toolchain.compile(dfg, spec)
     except CodegenError:
-        return schedule_kernel(dfg, overlay), None
+        return toolchain.compile(dfg, spec, allow_schedule_only=True)
+
+
+def _print_json(rows) -> None:
+    print(json.dumps(rows, indent=2))
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
-    for name, dfg in all_benchmarks().items():
+    from .dfg.analysis import dfg_depth
+
+    rows = [
+        {
+            "name": name,
+            "io": dfg.io_signature,
+            "ops": dfg.num_operations,
+            "depth": dfg_depth(dfg),
+        }
+        for name, dfg in all_benchmarks().items()
+    ]
+    if args.json:
+        _print_json(rows)
+        return 0
+    for row in rows:
         print(
-            f"{name:10s} I/O={dfg.io_signature:5s} ops={dfg.num_operations:3d} "
-            f"depth={_depth(dfg):2d}"
+            f"{row['name']:10s} I/O={row['io']:5s} ops={row['ops']:3d} "
+            f"depth={row['depth']:2d}"
         )
     return 0
 
 
-def _depth(dfg) -> int:
-    from .dfg.analysis import dfg_depth
-
-    return dfg_depth(dfg)
-
-
 def _cmd_variants(args: argparse.Namespace) -> int:
+    if args.json:
+        from dataclasses import asdict
+
+        _print_json([asdict(variant) for variant in FU_VARIANTS.values()])
+        return 0
     print(render_table1())
     return 0
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
+    toolchain = default_toolchain()
     dfg, source = _load_kernel(args)
-    overlay = _build_overlay(args, dfg)
-    schedule, program = _compile_kernel(dfg, source, overlay)
+    handle = _compile_handle(toolchain, dfg, source, overlay_spec_from_args(args))
+    program = handle.program
     if args.program and program is None:
         # Surface the real codegen error (register file / instruction
         # memory overflow) instead of printing a schedule with no program.
         from .program.codegen import generate_program
 
-        program = generate_program(schedule)
-    print(schedule_listing(schedule))
+        program = generate_program(handle.schedule)
+    print(schedule_listing(handle.schedule))
     print()
-    print(f"analytic II: {analytic_ii(schedule)}")
+    print(f"analytic II: {analytic_ii(handle.schedule)}")
     if args.program:
         print()
         print(program.listing())
@@ -140,27 +218,27 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    toolchain = default_toolchain()
     dfg, source = _load_kernel(args)
-    overlay = _build_overlay(args, dfg)
-    schedule, _ = _compile_kernel(dfg, source, overlay)
-    result = simulate_schedule(
-        schedule,
-        num_blocks=args.blocks,
-        seed=args.seed,
-        record_trace=args.trace,
-        engine=args.engine,
-        detector=args.detector,
-    )
+    handle = _compile_handle(toolchain, dfg, source, overlay_spec_from_args(args))
+    sim = sim_spec_from_args(args)
+    # Schedule-only handles (codegen overflow) simulate too: the simulator
+    # runs from the schedule.
+    result = toolchain.simulate(handle, sim)
     print(result.summary())
     measured = (
         "n/a (run too short)"
         if result.measured_ii is None
         else f"{result.measured_ii:.2f}"
     )
-    print(f"analytic II: {analytic_ii(schedule)}, measured II: {measured}")
-    if args.trace and result.trace is not None:
+    print(f"analytic II: {analytic_ii(handle.schedule)}, measured II: {measured}")
+    if sim.trace and result.trace is not None:
         print()
-        print(render_schedule_table(result.trace, overlay.depth, num_cycles=args.trace_cycles))
+        print(
+            render_schedule_table(
+                result.trace, handle.overlay.depth, num_cycles=args.trace_cycles
+            )
+        )
     return 0 if result.matches_reference else 1
 
 
@@ -202,30 +280,35 @@ def _parse_name_list(text: str, universe: List[str], what: str) -> List[str]:
     return names
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .engine.sweep import build_grid, render_sweep_table, results_to_json, run_sweep
-
+def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """The :class:`SweepSpec` a ``sweep`` invocation describes."""
     kernels = _parse_name_list(args.kernels, kernel_names(), "kernel")
     variants = _parse_name_list(args.variants, list(FU_VARIANTS), "variant")
-    depths = None
+    depths: List[Optional[int]] = [None]
     if args.depths:
         try:
-            depths = [int(d) for d in args.depths.split(",")]
+            # A 0 entry keeps meaning auto sizing for shell compatibility.
+            depths = [int(d) or None for d in args.depths.split(",")]
         except ValueError:
             raise ReproError(
                 f"--depths must be a comma-separated list of integers, got {args.depths!r}"
             )
-    grid = build_grid(
-        kernels=kernels,
-        variants=variants,
-        depths=depths,
-        num_blocks=args.blocks,
-        seed=args.seed,
-        engine=args.engine,
-        verify=not args.no_verify,
-        detector=args.detector,
+    return SweepSpec(
+        kernels=tuple(kernels),
+        overlays=tuple(
+            OverlaySpec(variant=variant, depth=depth)
+            for variant in variants
+            for depth in depths
+        ),
+        sim=sim_spec_from_args(args),
+        jobs=args.jobs,
     )
-    results = run_sweep(grid, jobs=args.jobs)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .engine.sweep import render_sweep_table, results_to_json
+
+    results = default_toolchain().sweep(sweep_spec_from_args(args))
     if args.json:
         print(results_to_json(results))
     else:
@@ -291,8 +374,10 @@ def _cmd_scalability(args: argparse.Namespace) -> int:
 def _cmd_dot(args: argparse.Namespace) -> int:
     dfg = get_kernel(args.kernel)
     if args.clusters:
-        overlay = LinearOverlay.fixed(args.variant or "v3", args.depth or 4)
-        schedule = schedule_kernel(dfg, overlay)
+        spec = OverlaySpec(
+            variant=args.variant, depth=args.depth if args.depth else 4, fixed=True
+        )
+        schedule = schedule_kernel(dfg, spec.build_overlay(dfg))
         print(clusters_to_dot(dfg, schedule.assignment))
     else:
         print(dfg_to_dot(dfg))
@@ -300,8 +385,6 @@ def _cmd_dot(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from .engine.fastsim import DETECTORS
-
     parser = argparse.ArgumentParser(
         prog="repro-overlay",
         description="Linear time-multiplexed FPGA overlay tool flow (DATE 2018 reproduction)",
@@ -309,18 +392,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("kernels", help="list benchmark kernels").set_defaults(func=_cmd_kernels)
-    sub.add_parser("variants", help="list FU variants (Table I)").set_defaults(
-        func=_cmd_variants
-    )
+    p_kernels = sub.add_parser("kernels", help="list benchmark kernels")
+    p_kernels.add_argument("--json", action="store_true", help="emit JSON rows")
+    p_kernels.set_defaults(func=_cmd_kernels)
+
+    p_variants = sub.add_parser("variants", help="list FU variants (Table I)")
+    p_variants.add_argument("--json", action="store_true", help="emit JSON rows")
+    p_variants.set_defaults(func=_cmd_variants)
 
     p_map = sub.add_parser("map", help="schedule a kernel onto an overlay")
     p_map.add_argument("--kernel", default=None, choices=kernel_names())
     p_map.add_argument(
         "--source", default=None, metavar="FILE", help="mini-C source file to compile"
     )
-    p_map.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))
-    p_map.add_argument("--depth", type=int, default=0, help="override the overlay depth")
+    add_overlay_args(p_map)
     p_map.add_argument("--program", action="store_true", help="also print the FU programs")
     p_map.set_defaults(func=_cmd_map)
 
@@ -329,24 +414,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--source", default=None, metavar="FILE", help="mini-C source file to compile"
     )
-    p_sim.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))
-    p_sim.add_argument("--depth", type=int, default=0)
-    p_sim.add_argument("--blocks", type=int, default=12)
-    p_sim.add_argument("--seed", type=int, default=0)
-    p_sim.add_argument("--trace", action="store_true", help="print a Table II style trace")
-    p_sim.add_argument("--trace-cycles", type=int, default=32)
-    p_sim.add_argument(
-        "--engine",
-        default="cycle",
-        choices=("cycle", "fast"),
-        help="simulation core: cycle-accurate reference or the fast event-driven engine",
-    )
-    p_sim.add_argument(
-        "--detector",
-        default="occupancy",
-        choices=DETECTORS,
-        help="fast-engine steady-state detector (ignored by --engine cycle)",
-    )
+    add_overlay_args(p_sim)
+    add_sim_args(p_sim, default_engine="cycle", trace=True)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_sweep = sub.add_parser(
@@ -363,21 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated overlay depths (empty = auto per kernel/variant)",
     )
-    p_sweep.add_argument("--blocks", type=int, default=12)
-    p_sweep.add_argument("--seed", type=int, default=0)
-    p_sweep.add_argument("--engine", default="fast", choices=("cycle", "fast"))
-    p_sweep.add_argument(
-        "--detector",
-        default="occupancy",
-        choices=DETECTORS,
-        help="fast-engine steady-state detector (occupancy locks early on "
-        "fixed-depth overlays; legacy is the PR-1 detector, kept for A/B)",
-    )
+    add_sim_args(p_sweep, default_engine="fast", verify_flag=True)
     p_sweep.add_argument(
         "--jobs", type=int, default=None, help="worker processes (default: CPU count)"
-    )
-    p_sweep.add_argument(
-        "--no-verify", action="store_true", help="skip golden-reference verification"
     )
     p_sweep.add_argument("--json", action="store_true", help="emit JSON rows")
     p_sweep.set_defaults(func=_cmd_sweep)
@@ -410,8 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot = sub.add_parser("dot", help="emit a Graphviz DOT drawing of a kernel DFG")
     p_dot.add_argument("--kernel", required=True, choices=kernel_names())
     p_dot.add_argument("--clusters", action="store_true", help="mark scheduling clusters")
-    p_dot.add_argument("--variant", default="v3")
-    p_dot.add_argument("--depth", type=int, default=0)
+    add_overlay_args(p_dot, default_variant="v3")
     p_dot.set_defaults(func=_cmd_dot)
     return parser
 

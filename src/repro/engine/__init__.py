@@ -28,7 +28,14 @@ from .fastsim import (
     steady_state_warmup_bound,
     warmup_bound_blocks,
 )
-from .sweep import SweepPoint, SweepResult, build_grid, run_point, run_sweep
+from .sweep import (
+    SweepPoint,
+    SweepResult,
+    build_grid,
+    run_point,
+    run_sweep,
+    run_sweep_spec,
+)
 
 __all__ = [
     "CacheKey",
@@ -46,4 +53,5 @@ __all__ = [
     "build_grid",
     "run_point",
     "run_sweep",
+    "run_sweep_spec",
 ]

@@ -178,6 +178,17 @@ class ScheduleCache:
         key = CacheKey.for_mapping(dfg, overlay)
         return self._get_or_compile_keyed(key, dfg, overlay)
 
+    def get_or_compile_keyed(
+        self, key: CacheKey, dfg: DFG, overlay: LinearOverlay
+    ) -> CompiledKernel:
+        """Like :meth:`get_or_compile` with a precomputed key.
+
+        The session API (:meth:`repro.api.Toolchain.compile`) memoises the
+        :class:`CacheKey` per (DFG fingerprint, overlay spec) and uses this
+        entry so a warm compile hashes the DFG exactly once.
+        """
+        return self._get_or_compile_keyed(key, dfg, overlay)
+
     def get_schedule(self, dfg: DFG, overlay: LinearOverlay) -> OverlaySchedule:
         """Return the schedule, even for kernels whose codegen fails.
 

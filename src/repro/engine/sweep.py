@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
@@ -31,29 +32,131 @@ from ..metrics.performance import (
     evaluate_kernel_all_overlays,
     throughput_gops,
 )
-from ..overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
-from ..overlay.fu import get_variant
 from ..overlay.resources import overlay_fmax_mhz
-from ..sim.overlay import simulate_schedule
-from .cache import default_cache
-from .fastsim import DETECTORS
+from ..sim.overlay import simulate_schedule_with
+from ..specs import OverlaySpec, SimSpec, SweepSpec
+from .cache import ScheduleCache, default_cache
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Keyword arguments the pre-spec SweepPoint constructor accepted.
+_LEGACY_POINT_KWARGS = (
+    "variant",
+    "depth",
+    "num_blocks",
+    "seed",
+    "engine",
+    "verify",
+    "detector",
+)
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, init=False)
 class SweepPoint:
-    """One (kernel, overlay variant, depth) grid point to compile and run."""
+    """One (kernel, overlay spec) grid point to compile and run.
+
+    Canonical construction is spec-keyed::
+
+        SweepPoint("gradient", OverlaySpec("v1"), SimSpec(engine="fast"))
+
+    The historical flat keyword form (``variant=``, ``depth=``, ``engine=``,
+    ``detector=`` ...) keeps working as a deprecation shim that packs the
+    kwargs into specs (``depth=0`` maps to the spec's ``depth=None`` auto
+    policy), and the old field names remain readable as properties.
+    """
 
     kernel: str
-    variant: str
-    depth: int = 0  # 0 = auto: critical path, or DEFAULT_FIXED_DEPTH for V3-V5
-    num_blocks: int = 12
-    seed: int = 0
-    engine: str = "fast"
-    verify: bool = True
-    detector: str = "occupancy"  # fast-engine steady-state detector
+    overlay: OverlaySpec
+    sim: SimSpec
+
+    def __init__(
+        self,
+        kernel: str,
+        overlay: Optional[OverlaySpec] = None,
+        sim: Optional[SimSpec] = None,
+        **legacy,
+    ):
+        unknown = sorted(set(legacy) - set(_LEGACY_POINT_KWARGS))
+        if unknown:
+            raise TypeError(
+                f"SweepPoint got unexpected keyword argument(s) {', '.join(unknown)}"
+            )
+        # Historical positional forms: SweepPoint("gradient", "v1"[, depth]).
+        if overlay is not None and not isinstance(overlay, OverlaySpec):
+            if "variant" in legacy:
+                raise ConfigurationError(
+                    "SweepPoint got a positional variant and a variant= kwarg"
+                )
+            legacy["variant"] = overlay
+            overlay = None
+        if sim is not None and not isinstance(sim, SimSpec):
+            if not isinstance(sim, int) or isinstance(sim, bool) or "depth" in legacy:
+                raise ConfigurationError(
+                    "SweepPoint's third argument must be a SimSpec "
+                    "(or the legacy positional depth)"
+                )
+            legacy["depth"] = sim
+            sim = None
+        if legacy:
+            if overlay is not None or sim is not None:
+                raise ConfigurationError(
+                    "SweepPoint takes either spec objects or the legacy flat "
+                    "kwargs, not a mix"
+                )
+            warnings.warn(
+                "flat SweepPoint kwargs (variant=, depth=, engine=, ...) are "
+                "deprecated; pass OverlaySpec/SimSpec objects",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overlay = OverlaySpec(
+                variant=legacy.get("variant", "v1"),
+                depth=legacy.get("depth", 0) or None,
+            )
+            sim = SimSpec(
+                engine=legacy.get("engine", "fast"),
+                detector=legacy.get("detector", "occupancy"),
+                num_blocks=legacy.get("num_blocks", 12),
+                seed=legacy.get("seed", 0),
+                verify=legacy.get("verify", True),
+            )
+        object.__setattr__(self, "kernel", kernel)
+        object.__setattr__(
+            self, "overlay", overlay if overlay is not None else OverlaySpec()
+        )
+        object.__setattr__(
+            self, "sim", sim if sim is not None else SimSpec(engine="fast")
+        )
+
+    # -- legacy flat field names (read-only views into the specs) ----------
+    @property
+    def variant(self) -> str:
+        return self.overlay.variant
+
+    @property
+    def depth(self) -> int:
+        return self.overlay.depth or 0
+
+    @property
+    def num_blocks(self) -> int:
+        return self.sim.num_blocks
+
+    @property
+    def seed(self) -> int:
+        return self.sim.seed
+
+    @property
+    def engine(self) -> str:
+        return self.sim.engine
+
+    @property
+    def verify(self) -> bool:
+        return self.sim.verify
+
+    @property
+    def detector(self) -> str:
+        return self.sim.detector
 
 
 @dataclass
@@ -84,65 +187,89 @@ class SweepResult:
 
 def build_grid(
     kernels: Optional[Sequence[str]] = None,
-    variants: Sequence[str] = ("v1", "v2"),
+    variants: Optional[Sequence[str]] = None,
     depths: Optional[Sequence[int]] = None,
-    num_blocks: int = 12,
-    seed: int = 0,
-    engine: str = "fast",
-    verify: bool = True,
-    detector: str = "occupancy",
+    num_blocks: Optional[int] = None,
+    seed: Optional[int] = None,
+    engine: Optional[str] = None,
+    verify: Optional[bool] = None,
+    detector: Optional[str] = None,
+    *,
+    overlays: Optional[Sequence[OverlaySpec]] = None,
+    sim: Optional[SimSpec] = None,
 ) -> List[SweepPoint]:
-    """Cross kernels x variants x depths into a list of sweep points.
+    """Cross kernels x overlay specs into a list of spec-keyed sweep points.
 
-    ``depths=None`` (or a 0 entry) means auto sizing per kernel/variant.
+    Canonical usage passes ``overlays=[OverlaySpec(...), ...]`` and
+    ``sim=SimSpec(...)``.  The historical flat kwargs (``variants``,
+    ``depths``, ``num_blocks``, ``engine``, ``detector``, ...) keep working
+    as a deprecation shim: ``variants x depths`` expands into overlay specs
+    (a 0 depth entry means auto sizing) and the rest packs into one
+    :class:`~repro.specs.SimSpec`.
     """
-    names = list(kernels) if kernels else kernel_names()
-    depth_options = list(depths) if depths else [0]
-    return [
-        SweepPoint(
-            kernel=name,
-            variant=str(variant),
-            depth=depth,
-            num_blocks=num_blocks,
-            seed=seed,
-            engine=engine,
-            verify=verify,
-            detector=detector,
+    legacy = {
+        "variants": variants,
+        "depths": depths,
+        "num_blocks": num_blocks,
+        "seed": seed,
+        "engine": engine,
+        "verify": verify,
+        "detector": detector,
+    }
+    used_legacy = sorted(name for name, value in legacy.items() if value is not None)
+    if used_legacy:
+        if overlays is not None or sim is not None:
+            raise ConfigurationError(
+                "build_grid takes either overlays=/sim= specs or the legacy "
+                f"flat kwargs ({', '.join(used_legacy)}), not a mix"
+            )
+        warnings.warn(
+            "flat build_grid kwargs (variants=, depths=, engine=, ...) are "
+            "deprecated; pass overlays=[OverlaySpec(...)] and sim=SimSpec(...)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+    names = list(kernels) if kernels else kernel_names()
+    if overlays is None:
+        depth_options = list(depths) if depths else [0]
+        overlays = [
+            OverlaySpec(variant=str(variant), depth=depth or None)
+            for variant in (variants if variants is not None else ("v1", "v2"))
+            for depth in depth_options
+        ]
+    if sim is None:
+        sim = SimSpec(
+            engine=engine if engine is not None else "fast",
+            detector=detector if detector is not None else "occupancy",
+            num_blocks=num_blocks if num_blocks is not None else 12,
+            seed=seed if seed is not None else 0,
+            verify=verify if verify is not None else True,
+        )
+    return [
+        SweepPoint(kernel=name, overlay=overlay, sim=sim)
         for name in names
-        for variant in variants
-        for depth in depth_options
+        for overlay in overlays
     ]
 
 
-def _overlay_for_point(point: SweepPoint, dfg) -> LinearOverlay:
-    variant = get_variant(point.variant)
-    if point.depth:
-        if variant.write_back:
-            return LinearOverlay.fixed(variant, point.depth)
-        return LinearOverlay(variant=variant, depth=point.depth)
-    if variant.write_back:
-        return LinearOverlay.fixed(variant, DEFAULT_FIXED_DEPTH)
-    return LinearOverlay.for_kernel(variant, dfg)
+def run_point(point: SweepPoint, cache: Optional[ScheduleCache] = None) -> SweepResult:
+    """Compile (through the cache) and simulate one sweep point.
 
-
-def run_point(point: SweepPoint) -> SweepResult:
-    """Compile (through the cache) and simulate one sweep point."""
+    ``cache`` defaults to the process-wide compiled-schedule cache; the
+    session API (:meth:`repro.api.Toolchain.sweep`) passes its injected
+    cache for serial execution.
+    """
     from ..schedule import analytic_ii  # local import keeps worker start cheap
 
     started = time.perf_counter()
+    sim = point.sim
     dfg = get_kernel(point.kernel)
-    overlay = _overlay_for_point(point, dfg)
-    compiled = default_cache().get_or_compile(dfg, overlay)
-    schedule = compiled.schedule
-    result = simulate_schedule(
-        schedule,
-        num_blocks=point.num_blocks,
-        seed=point.seed,
-        verify=point.verify,
-        engine=point.engine,
-        detector=point.detector,
+    overlay = point.overlay.build_overlay(dfg)
+    compiled = (cache if cache is not None else default_cache()).get_or_compile(
+        dfg, overlay
     )
+    schedule = compiled.schedule
+    result = simulate_schedule_with(schedule, sim)
     fmax = overlay_fmax_mhz(overlay.variant, overlay.depth)
     analytic = float(analytic_ii(schedule))
     # A run too short to complete two blocks has no measurable II; report it
@@ -154,9 +281,9 @@ def run_point(point: SweepPoint) -> SweepResult:
         variant=overlay.variant.name,
         overlay_name=overlay.name,
         overlay_depth=overlay.depth,
-        num_blocks=point.num_blocks,
-        engine=point.engine,
-        detector=point.detector,
+        num_blocks=sim.num_blocks,
+        engine=sim.engine,
+        detector=sim.detector,
         analytic_ii=analytic,
         measured_ii=measured,
         latency_cycles=int(result.latency_cycles),
@@ -171,7 +298,10 @@ def run_point(point: SweepPoint) -> SweepResult:
 
 
 def parallel_map(
-    fn: Callable[[T], R], items: Sequence[T], jobs: Optional[int] = None
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+    serial_fn: Optional[Callable[[T], R]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, in a process pool when it pays off.
 
@@ -183,18 +313,24 @@ def parallel_map(
     which would duplicate side effects and hide the error), and a worker
     process dying (``BrokenProcessPool``) raises :class:`SweepError` with a
     hint to rerun serially for a readable traceback.
+
+    ``serial_fn`` (default ``fn``) replaces ``fn`` on every *in-process*
+    path — small inputs, ``jobs<=1`` and the pool-creation fallback — so
+    callers can close over unpicklable state (a session-injected cache)
+    without it ever reaching a worker process.
     """
     items = list(items)
+    serial = serial_fn if serial_fn is not None else fn
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return [serial(item) for item in items]
     try:
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
     except (OSError, PermissionError, ImportError):
         # Only pool *creation* degrades gracefully (sandboxes and exotic
         # platforms without process support).
-        return [fn(item) for item in items]
+        return [serial(item) for item in items]
     with pool:
         try:
             return list(pool.map(fn, items))
@@ -208,24 +344,43 @@ def parallel_map(
 
 
 def run_sweep(
-    points: Sequence[SweepPoint], jobs: Optional[int] = None
+    points: Sequence[SweepPoint],
+    jobs: Optional[int] = None,
+    cache: Optional[ScheduleCache] = None,
 ) -> List[SweepResult]:
     """Run a sweep grid, fanning points out over worker processes.
 
-    Each worker process holds its own in-memory compile cache (warmed across
-    the points it handles); set ``REPRO_CACHE_DIR`` to share compilations
+    Engine and detector names are validated by the specs at point
+    construction, so a grid can no longer hold an invalid point.
+
+    ``cache`` (a session-injected compiled-schedule cache) is honored on
+    every in-process path (serial jobs, single points, and the
+    pool-creation fallback), so an isolated session never leaks
+    compilations into the process-wide default cache; worker processes
+    always hold their own in-memory compile cache (warmed across the
+    points each handles) — set ``REPRO_CACHE_DIR`` to share compilations
     between workers and across runs through the disk layer.
     """
-    for point in points:
-        if point.engine not in ("cycle", "fast"):
-            raise ConfigurationError(
-                f"unknown simulation engine {point.engine!r} in sweep point"
-            )
-        if point.detector not in DETECTORS:
-            raise ConfigurationError(
-                f"unknown steady-state detector {point.detector!r} in sweep point"
-            )
-    return parallel_map(run_point, points, jobs=jobs)
+    serial_fn = None
+    if cache is not None:
+        serial_fn = lambda point: run_point(point, cache=cache)  # noqa: E731
+    return parallel_map(run_point, points, jobs=jobs, serial_fn=serial_fn)
+
+
+def run_sweep_spec(
+    spec: SweepSpec, cache: Optional[ScheduleCache] = None
+) -> List[SweepResult]:
+    """Expand a :class:`~repro.specs.SweepSpec` into its grid and run it.
+
+    The grid is ``kernels x overlays`` in spec order (kernel-major), each
+    point sharing the spec's :class:`~repro.specs.SimSpec`.
+    """
+    points = [
+        SweepPoint(kernel=kernel, overlay=overlay, sim=spec.sim)
+        for kernel in spec.kernels
+        for overlay in spec.overlays
+    ]
+    return run_sweep(points, jobs=spec.jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------

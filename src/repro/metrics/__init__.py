@@ -11,6 +11,7 @@
 
 from .performance import (
     PerformanceResult,
+    analytic_performance,
     evaluate_kernel,
     evaluate_kernel_all_overlays,
     latency_ns,
@@ -32,6 +33,7 @@ from .tables import (
 
 __all__ = [
     "PerformanceResult",
+    "analytic_performance",
     "evaluate_kernel",
     "evaluate_kernel_all_overlays",
     "throughput_gops",

@@ -18,18 +18,18 @@ functional correctness against the golden reference.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..dfg.analysis import dfg_depth
 from ..dfg.graph import DFG
 from ..errors import ConfigurationError
-from ..overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
+from ..overlay.architecture import LinearOverlay
 from ..overlay.fu import get_variant
 from ..overlay.resources import estimate_resources
 from ..schedule import analytic_ii
 from ..schedule.types import OverlaySchedule
-from ..sim.overlay import simulate_schedule
 
 
 def throughput_gops(num_operations: int, ii: float, fmax_mhz: float) -> float:
@@ -98,57 +98,20 @@ class PerformanceResult:
         }
 
 
-def overlay_for(variant, dfg: DFG, fixed_depth: Optional[int] = None) -> LinearOverlay:
-    """Build the overlay instance the paper would use for this variant/kernel.
-
-    The [14]/V1/V2 overlays are sized to the kernel's critical path; the
-    write-back variants (V3-V5) use a fixed depth (8 unless overridden).
-    """
-    fu = get_variant(variant)
-    if fu.write_back:
-        return LinearOverlay.fixed(fu, fixed_depth or DEFAULT_FIXED_DEPTH)
-    return LinearOverlay.for_kernel(fu, dfg)
-
-
-def evaluate_kernel(
-    dfg: DFG,
-    variant,
-    fixed_depth: Optional[int] = None,
-    simulate: bool = False,
-    num_blocks: int = 12,
+def analytic_performance(
+    dfg: DFG, overlay: LinearOverlay, schedule: OverlaySchedule
 ) -> PerformanceResult:
-    """Map one kernel onto one overlay variant and evaluate it.
+    """Analytic-model evaluation of one already-scheduled kernel (pure).
 
-    With ``simulate=True`` the cycle-accurate simulator provides the latency
-    and a measured II (and verifies functional correctness); otherwise the
-    analytic models are used throughout.
-
-    The mapping goes through the process-wide compiled-schedule cache
-    (:func:`repro.engine.cache.default_cache`), so evaluating the same
-    kernel/overlay pair repeatedly — sweeps, Table III regeneration, the
-    warm path of :func:`repro.map_kernel` — schedules it exactly once.
+    This is the single place the Fig. 6 quantities are computed.  It runs
+    the graph work (resource estimate, ASAP levels behind
+    :func:`~repro.dfg.analysis.dfg_depth`, II and latency models) exactly
+    once per call; :meth:`repro.api.Toolchain.evaluate` memoises the result
+    on the spec-keyed compiled artifact so warm evaluations copy it instead.
     """
-    from ..engine.cache import default_cache
-
-    overlay = overlay_for(variant, dfg, fixed_depth=fixed_depth)
-    # Analytic-only evaluation must keep working for kernels that schedule
-    # but exceed the variant's register file or instruction memory; the cache
-    # memoises the schedule-only fallback too, so repeated sweep calls never
-    # reschedule (or re-attempt the doomed codegen stages).
-    schedule = default_cache().get_schedule(dfg, overlay)
     resources = estimate_resources(overlay)
     ii = analytic_ii(schedule)
-
-    measured_ii: Optional[float] = None
-    reference_match: Optional[bool] = None
-    if simulate:
-        sim = simulate_schedule(schedule, num_blocks=num_blocks)
-        measured_ii = sim.measured_ii
-        reference_match = sim.matches_reference
-        latency_cycles = float(sim.latency_cycles)
-    else:
-        latency_cycles = analytic_latency_cycles(schedule)
-
+    latency_cycles = analytic_latency_cycles(schedule)
     return PerformanceResult(
         kernel_name=dfg.name,
         overlay_name=overlay.name,
@@ -164,9 +127,72 @@ def evaluate_kernel(
         dsp_blocks=resources.dsp_blocks,
         logic_slices=resources.logic_slices,
         scheduler=schedule.scheduler,
-        measured_ii=measured_ii,
-        simulated=simulate,
-        reference_match=reference_match,
+    )
+
+
+def _depth_override_changed(variant, fixed_depth: Optional[int]) -> bool:
+    """True for the historical silent-ignore case (now honored)."""
+    return fixed_depth is not None and not get_variant(variant).write_back
+
+
+def overlay_for(variant, dfg: DFG, fixed_depth: Optional[int] = None) -> LinearOverlay:
+    """Build the overlay instance the paper would use for this variant/kernel.
+
+    Compatibility adapter over :meth:`repro.specs.OverlaySpec.build_overlay`.
+    ``fixed_depth`` is now honored for *every* variant; it used to be
+    silently ignored for the critical-path-sized ([14]/V1/V2) overlays,
+    which let the reported metrics describe a different overlay than the
+    compiled schedule.
+    """
+    from ..specs import OverlaySpec
+
+    if _depth_override_changed(variant, fixed_depth):
+        warnings.warn(
+            "overlay_for(fixed_depth=N) now sizes non-write-back overlays to "
+            "N as well (it used to ignore the override); build an "
+            "OverlaySpec(variant, depth=N) directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return OverlaySpec(variant=variant, depth=fixed_depth).build_overlay(dfg)
+
+
+def evaluate_kernel(
+    dfg: DFG,
+    variant,
+    fixed_depth: Optional[int] = None,
+    simulate: bool = False,
+    num_blocks: int = 12,
+) -> PerformanceResult:
+    """Map one kernel onto one overlay variant and evaluate it.
+
+    Compatibility adapter over :meth:`repro.api.Toolchain.evaluate` (which
+    memoises the analytic graph work per compiled artifact): it builds an
+    :class:`~repro.specs.OverlaySpec` (and a :class:`~repro.specs.SimSpec`
+    for ``simulate=True``) and delegates through the process-wide default
+    session, so repeated evaluations — sweeps, Table III regeneration, the
+    warm path of :func:`repro.map_kernel` — schedule and analyse exactly
+    once.
+
+    ``fixed_depth`` on a non-write-back variant is now honored (the overlay
+    is built with that depth) instead of being silently ignored; that case
+    emits a :class:`DeprecationWarning`.
+    """
+    from ..api import default_toolchain
+    from ..specs import OverlaySpec, SimSpec
+
+    if _depth_override_changed(variant, fixed_depth):
+        warnings.warn(
+            "evaluate_kernel(fixed_depth=N) now evaluates the depth-N overlay "
+            "for non-write-back variants too (it used to ignore the "
+            "override); build an OverlaySpec(variant, depth=N) and use "
+            "Toolchain.evaluate directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    sim = SimSpec(num_blocks=num_blocks) if simulate else None
+    return default_toolchain().evaluate(
+        dfg, OverlaySpec(variant=variant, depth=fixed_depth), sim=sim
     )
 
 

@@ -20,15 +20,17 @@ multi-kernel example and the runtime bench report.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..api import Toolchain
 from ..dfg.analysis import dfg_depth
 from ..dfg.graph import DFG
 from ..engine.cache import ScheduleCache, default_cache
 from ..errors import ConfigurationError, KernelError
 from ..kernels.library import get_kernel
-from ..overlay.architecture import LinearOverlay
+from ..overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
 from ..overlay.context_switch import ContextSwitchEstimate, context_switch_time_s
 from ..overlay.fu import get_variant
 from ..overlay.resources import overlay_fmax_mhz
@@ -37,6 +39,7 @@ from ..program.codegen import OverlayProgram
 from ..schedule import analytic_ii
 from ..schedule.types import OverlaySchedule
 from ..sim.overlay import SimulationResult, simulate_schedule
+from ..specs import OverlaySpec, SimSpec
 
 
 @dataclass
@@ -101,56 +104,136 @@ class OverlayRuntime:
 
     Parameters
     ----------
-    variant:
-        FU variant of the overlay (name or :class:`FUVariant`).
-    depth:
-        Overlay depth.  For write-back variants this is the fixed depth (the
-        overlay never changes); for the other variants it is the *initial*
-        depth, and loading a kernel with a different critical-path depth
-        triggers a modelled partial reconfiguration that resizes the overlay.
-    verify:
-        Verify every execution against the golden reference model (default
-        True; turn off for long throughput-oriented runs).
-    engine:
-        Simulation engine used by :meth:`execute` — ``"cycle"`` for the
-        value-level cycle-accurate reference simulator (default), ``"fast"``
-        for the event-driven engine (identical results, much faster; see
-        :mod:`repro.engine.fastsim`).  With ``engine="fast"`` the per-run
-        reference check is weaker (the fast engine derives its outputs from
-        the same functional evaluation as the reference model); keep the
-        default cycle engine where independent per-run verification
-        matters, and rely on the engine-equivalence test suite as the fast
-        engine's correctness guarantee.
+    overlay:
+        An :class:`~repro.specs.OverlaySpec` describing the overlay instance
+        this runtime manages.  ``depth=None`` resolves to the paper's
+        defaults (fixed depth 8 for write-back variants, an initial depth of
+        8 otherwise).  For write-back variants the depth is the fixed depth
+        (the overlay never changes); for the other variants it is the
+        *initial* depth, and loading a kernel with a different critical-path
+        depth triggers a modelled partial reconfiguration that resizes the
+        overlay.
+
+        As a deprecation shim the old flat signature
+        ``OverlayRuntime(variant, depth=8, verify=True, engine="cycle")``
+        keeps working (a variant name/instance in place of the spec, plus
+        the legacy keyword knobs) and packs itself into specs.
+    sim:
+        A :class:`~repro.specs.SimSpec` with the execution policy:
+        ``engine`` selects the simulation core used by :meth:`execute`
+        (``"cycle"`` for the value-level cycle-accurate reference simulator,
+        ``"fast"`` for the event-driven engine — identical results, much
+        faster, but a weaker per-run reference check since the fast engine
+        derives its outputs from the same functional evaluation as the
+        reference model), and ``verify`` controls golden-reference checking
+        (turn off for long throughput-oriented runs).
     cache:
         Compiled-schedule cache consulted by :meth:`register`.  Defaults to
         the process-wide :func:`repro.engine.cache.default_cache`, so
         registering the same kernel on the same overlay configuration —
         across repeated runs, sweeps, or several runtime instances — runs
         the mapping flow (scheduling, register allocation, codegen) once.
+        :meth:`repro.api.Toolchain.runtime` injects its session cache here.
     """
 
-    def __init__(
-        self,
-        variant,
-        depth: int = 8,
-        verify: bool = True,
-        engine: str = "cycle",
-        cache: Optional[ScheduleCache] = None,
-    ):
-        self.variant = get_variant(variant)
-        if depth < 1:
-            raise ConfigurationError("overlay depth must be positive")
-        if engine not in ("cycle", "fast"):
-            raise ConfigurationError(
-                f"unknown simulation engine {engine!r}; available: 'cycle', 'fast'"
-            )
-        self._depth = depth
-        self.verify = verify
-        self.engine = engine
+    #: Parameter order of the pre-spec constructor (deprecation shim).
+    _LEGACY_PARAMS = ("variant", "depth", "verify", "engine", "cache")
+    #: Parameter order of the session-API constructor.
+    _SESSION_PARAMS = ("overlay", "sim", "cache")
+
+    def __init__(self, *args, **kwargs):
+        overlay, sim, cache = self._parse_ctor_args(args, kwargs)
+        if sim is None:
+            sim = SimSpec()
+        self.overlay_spec = overlay
+        self.sim_spec = sim
+        self.variant = get_variant(overlay.variant)
+        self._depth = (
+            overlay.depth
+            if overlay.depth is not None
+            else (DEFAULT_FIXED_DEPTH if self.variant.write_back else 8)
+        )
+        self.verify = sim.verify
+        self.engine = sim.engine
         self.cache = cache if cache is not None else default_cache()
+        self._toolchain = Toolchain(cache=self.cache)
         self.stats = RuntimeStats()
         self._kernels: Dict[str, KernelHandle] = {}
         self._loaded: Optional[str] = None
+
+    @classmethod
+    def _parse_ctor_args(cls, args, kwargs):
+        """Dispatch between the session signature and the legacy shim.
+
+        Session style: ``(overlay: OverlaySpec, sim: SimSpec = None,
+        cache=None)``.  Legacy style (any non-spec first argument or a
+        ``variant=`` keyword): ``(variant, depth=8, verify=True,
+        engine="cycle", cache=None)`` with positionals and keywords mixing
+        exactly as the old flat signature allowed.
+        """
+        legacy = "variant" in kwargs or (
+            bool(args) and not isinstance(args[0], (OverlaySpec, SimSpec))
+        )
+        names = cls._LEGACY_PARAMS if legacy else cls._SESSION_PARAMS
+        if len(args) > len(names):
+            raise TypeError(
+                f"OverlayRuntime takes at most {len(names)} positional "
+                f"arguments ({', '.join(names)}), got {len(args)}"
+            )
+        params = dict(zip(names, args))
+        duplicated = sorted(set(params) & set(kwargs))
+        if duplicated:
+            raise TypeError(
+                f"OverlayRuntime got multiple values for {', '.join(duplicated)}"
+            )
+        unknown = sorted(set(kwargs) - set(names))
+        if unknown:
+            if not legacy and set(unknown) <= set(cls._LEGACY_PARAMS):
+                raise ConfigurationError(
+                    "depth=/verify=/engine= are legacy kwargs of the flat "
+                    "signature; with an OverlaySpec they belong in the specs"
+                )
+            raise TypeError(
+                f"OverlayRuntime got unexpected keyword argument(s) "
+                f"{', '.join(unknown)}"
+            )
+        params.update(kwargs)
+        if not legacy:
+            overlay = params.get("overlay")
+            sim = params.get("sim")
+            if not isinstance(overlay, OverlaySpec):
+                raise ConfigurationError(
+                    "OverlayRuntime needs an OverlaySpec (or the legacy "
+                    "variant name) describing the overlay it manages"
+                )
+            if sim is not None and not isinstance(sim, SimSpec):
+                raise ConfigurationError(
+                    "OverlayRuntime's sim argument must be a SimSpec"
+                )
+            return overlay, sim, params.get("cache")
+
+        warnings.warn(
+            "OverlayRuntime(variant, depth=, verify=, engine=) is "
+            "deprecated; pass OverlaySpec and SimSpec objects",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if "variant" not in params:
+            raise TypeError("OverlayRuntime missing the legacy variant argument")
+        depth = params.get("depth")
+        if depth is not None:
+            if isinstance(depth, (OverlaySpec, SimSpec)) or isinstance(depth, bool):
+                raise ConfigurationError(
+                    "pass either spec objects or the legacy flat kwargs, not a mix"
+                )
+            if depth < 1:
+                raise ConfigurationError("overlay depth must be positive")
+        overlay = OverlaySpec(variant=params["variant"], depth=depth)
+        sim = SimSpec(
+            engine=params.get("engine", "cycle"),
+            verify=params.get("verify", True),
+        )
+        return overlay, sim, params.get("cache")
 
     # ------------------------------------------------------------------
     # overlay state
@@ -183,9 +266,8 @@ class OverlayRuntime:
         instead of re-running the mapping flow.
         """
         dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
-        overlay = self._overlay_for(dfg)
-        compiled = self.cache.get_or_compile(dfg, overlay)
-        return self._register_compiled(name or dfg.name, compiled)
+        handle = self._toolchain.compile(dfg, self._kernel_overlay_spec())
+        return self._register_compiled(name or dfg.name, handle)
 
     def register_source(self, source: str, name: Optional[str] = None) -> KernelHandle:
         """Compile a mini-C kernel source end-to-end and register it.
@@ -199,17 +281,10 @@ class OverlayRuntime:
         the process — reuses every artefact without even re-hashing the DFG.
         Any edit to the source recompiles only from the stage it invalidates.
         """
-        from ..frontend.cache import default_frontend_cache
-
-        if self.variant.write_back:
-            # Fixed-depth overlays need nothing from the DFG to size the
-            # fabric, so the warm path here is a pure source-index lookup.
-            overlay = LinearOverlay.fixed(self.variant, self._depth)
-        else:
-            dfg = default_frontend_cache().dfg(source, name=name)
-            overlay = LinearOverlay.for_kernel(self.variant, dfg)
-        compiled = self.cache.get_or_compile_source(source, overlay, name=name)
-        return self._register_compiled(name or compiled.schedule.dfg.name, compiled)
+        handle = self._toolchain.compile(
+            source=source, overlay=self._kernel_overlay_spec(), name=name
+        )
+        return self._register_compiled(name or handle.schedule.dfg.name, handle)
 
     def _register_compiled(self, kernel_name: str, compiled) -> KernelHandle:
         """Wrap cached compile artefacts in a handle and record it."""
@@ -223,10 +298,17 @@ class OverlayRuntime:
         self._kernels[kernel_name] = handle
         return handle
 
-    def _overlay_for(self, dfg: DFG) -> LinearOverlay:
+    def _kernel_overlay_spec(self) -> OverlaySpec:
+        """The overlay spec :meth:`register` compiles kernels against.
+
+        Write-back runtimes pin their fixed depth; the others auto-size each
+        kernel to its critical path (the paper's per-kernel V1/V2 policy).
+        """
         if self.variant.write_back:
-            return LinearOverlay.fixed(self.variant, self._depth)
-        return LinearOverlay.for_kernel(self.variant, dfg)
+            return OverlaySpec(
+                variant=self.variant.name, depth=self._depth, fixed=True
+            )
+        return OverlaySpec(variant=self.variant.name)
 
     def registered_kernels(self) -> List[str]:
         return list(self._kernels)
@@ -334,3 +416,8 @@ class OverlayRuntime:
                 self.register(name)
             self.execute_random(name, num_blocks=count, seed=seed + index)
         return self.stats
+
+
+#: The session-API name for the runtime manager (``Toolchain.runtime()``
+#: returns one); ``OverlayRuntime`` remains the historical alias.
+RuntimeManager = OverlayRuntime

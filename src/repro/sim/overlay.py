@@ -340,6 +340,24 @@ def _steady_state_ii(completion_cycles: Sequence[int]) -> Optional[float]:
     return sum(steady) / len(steady)
 
 
+def simulate_schedule_with(schedule: OverlaySchedule, sim) -> "SimulationResult":
+    """Spec-driven wrapper of :func:`simulate_schedule`.
+
+    The single place a :class:`repro.specs.SimSpec` expands into simulator
+    keywords — the session API, the sweep runner and the CLI all call this,
+    so a new simulation knob lands here once.
+    """
+    return simulate_schedule(
+        schedule,
+        num_blocks=sim.num_blocks,
+        seed=sim.seed,
+        record_trace=sim.trace,
+        verify=sim.verify,
+        engine=sim.engine,
+        detector=sim.detector,
+    )
+
+
 def simulate_schedule(
     schedule: OverlaySchedule,
     input_blocks: Optional[Sequence[Sequence[int]]] = None,

@@ -1,0 +1,302 @@
+"""Typed, frozen spec objects — the only way knobs travel between layers.
+
+The tool flow used to thread the same handful of knobs (variant, depth,
+engine, detector, num_blocks, seed, ...) as loose keyword arguments through
+five independent entry points (``map_kernel``, ``evaluate_kernel``,
+``SweepPoint``, the runtime manager and the CLI).  Adding one knob meant
+touching every one of them.  This module replaces that keyword soup with
+three spec dataclasses:
+
+* :class:`OverlaySpec` — *which overlay*: FU variant, depth policy (explicit
+  or auto-sized), fixed-depth flag, FIFO depth;
+* :class:`SimSpec` — *how to simulate*: engine, steady-state detector,
+  stream length, seed, tracing, verification;
+* :class:`SweepSpec` — *what grid to run*: kernels x overlay specs, one
+  shared :class:`SimSpec`, worker count.
+
+All three are frozen (hashable, usable as cache keys) and JSON
+round-trippable (``to_json`` / ``from_json`` are exact inverses), so a spec
+can be logged, stored next to sweep results, or shipped to a worker process
+verbatim.  A future knob lands in exactly one spec class plus its consumer;
+every entry point — :class:`repro.api.Toolchain`, the compatibility shims,
+the CLI — builds or accepts these objects instead of re-declaring kwargs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+from .errors import ConfigurationError
+from .overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
+from .overlay.fu import get_variant
+
+#: Simulation engines understood by :func:`repro.sim.overlay.simulate_schedule`.
+ENGINES = ("cycle", "fast")
+
+
+def _variant_name(variant) -> str:
+    """Canonical variant name (accepts a name, alias or FUVariant instance)."""
+    return get_variant(variant).name
+
+
+@dataclass(frozen=True)
+class OverlaySpec:
+    """Which overlay to build for a kernel.
+
+    Attributes
+    ----------
+    variant:
+        Canonical FU-variant name (``"baseline"``, ``"v1"`` ... ``"v5"``).
+        The constructor also accepts aliases and ``FUVariant`` instances and
+        canonicalises them.
+    depth:
+        Overlay depth, or ``None`` for the paper's auto-sizing policy:
+        critical-path depth for the non-write-back variants,
+        :data:`~repro.overlay.architecture.DEFAULT_FIXED_DEPTH` for the
+        write-back (V3-V5) variants.  There is no ``0`` sentinel.
+    fixed:
+        Fixed-depth flag, or ``None`` to follow the variant's nature
+        (write-back variants build fixed-depth overlays, the others
+        critical-path-sized ones).
+    fifo_depth:
+        Entries in each distributed-RAM FIFO channel.
+    """
+
+    variant: str = "v1"
+    depth: Optional[int] = None
+    fixed: Optional[bool] = None
+    fifo_depth: int = 32
+
+    def __post_init__(self) -> None:
+        fu = get_variant(self.variant)
+        object.__setattr__(self, "variant", fu.name)
+        if self.depth is not None:
+            if not isinstance(self.depth, int) or isinstance(self.depth, bool):
+                raise ConfigurationError(
+                    f"overlay depth must be an integer or None, got {self.depth!r}"
+                )
+            if self.depth < 1:
+                raise ConfigurationError(
+                    "overlay depth must be at least 1 (use depth=None for "
+                    "auto sizing; the legacy 0 sentinel is gone)"
+                )
+        if self.fixed is True and not fu.supports_fixed_depth:
+            raise ConfigurationError(
+                f"FU variant {fu.paper_label} has no write-back path and "
+                "cannot implement a fixed-depth overlay (only V3-V5 can)"
+            )
+        if self.fifo_depth < 2:
+            raise ConfigurationError("FIFO depth must be at least 2")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fixed(self) -> bool:
+        """The resolved fixed-depth flag (``fixed=None`` follows the variant)."""
+        if self.fixed is not None:
+            return self.fixed
+        return get_variant(self.variant).write_back
+
+    @property
+    def requires_kernel(self) -> bool:
+        """True when auto sizing needs the kernel DFG (critical-path policy)."""
+        return self.depth is None and not self.is_fixed
+
+    def build_overlay(self, dfg=None) -> LinearOverlay:
+        """Materialise the :class:`LinearOverlay` this spec describes.
+
+        ``dfg`` is only needed for the critical-path auto-sizing policy
+        (``depth=None`` on a non-write-back variant).
+        """
+        fu = get_variant(self.variant)
+        if self.is_fixed:
+            depth = self.depth if self.depth is not None else DEFAULT_FIXED_DEPTH
+            return LinearOverlay.fixed(fu, depth, fifo_depth=self.fifo_depth)
+        if self.depth is not None:
+            return LinearOverlay(
+                variant=fu, depth=self.depth, fifo_depth=self.fifo_depth
+            )
+        if dfg is None:
+            raise ConfigurationError(
+                f"overlay spec {self!r} sizes the overlay to the kernel's "
+                "critical path; pass the kernel DFG to build_overlay()"
+            )
+        return LinearOverlay.for_kernel(fu, dfg, fifo_depth=self.fifo_depth)
+
+    def resolve(self, dfg=None) -> "OverlaySpec":
+        """A fully concrete copy (depth and fixed filled in) for one kernel."""
+        overlay = self.build_overlay(dfg)
+        return OverlaySpec(
+            variant=self.variant,
+            depth=overlay.depth,
+            fixed=overlay.fixed_depth,
+            fifo_depth=self.fifo_depth,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "depth": self.depth,
+            "fixed": self.fixed,
+            "fifo_depth": self.fifo_depth,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OverlaySpec":
+        return cls(**_checked_fields(cls, data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OverlaySpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """How to simulate a compiled kernel.
+
+    Attributes
+    ----------
+    engine:
+        ``"cycle"`` (the cycle-accurate golden reference) or ``"fast"`` (the
+        event-driven engine, identical results).
+    detector:
+        Fast-engine steady-state detector (``"occupancy"`` or ``"legacy"``);
+        ignored by the cycle engine.
+    num_blocks:
+        Data blocks in the generated input stream (when the caller does not
+        provide explicit blocks).
+    seed:
+        Seed of the deterministic random input stream.
+    trace:
+        Record a per-cycle Table II style trace (forces the cycle engine).
+    verify:
+        Check every output block against the golden reference model.
+    """
+
+    engine: str = "cycle"
+    detector: str = "occupancy"
+    num_blocks: int = 12
+    seed: int = 0
+    trace: bool = False
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown simulation engine {self.engine!r}; "
+                f"available: {', '.join(ENGINES)}"
+            )
+        # Imported lazily: the detector registry lives with the fast engine.
+        from .engine.fastsim import DETECTORS
+
+        if self.detector not in DETECTORS:
+            raise ConfigurationError(
+                f"unknown steady-state detector {self.detector!r}; "
+                f"available: {', '.join(DETECTORS)}"
+            )
+        if self.num_blocks < 0:
+            raise ConfigurationError("num_blocks must be non-negative")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "detector": self.detector,
+            "num_blocks": self.num_blocks,
+            "seed": self.seed,
+            "trace": self.trace,
+            "verify": self.verify,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimSpec":
+        return cls(**_checked_fields(cls, data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A (kernels x overlays) grid with one shared simulation policy.
+
+    The grid is the cross product ``kernels x overlays`` in that order
+    (kernel-major), matching the historical ``build_grid`` ordering.
+    ``sim=None`` resolves to the sweep default, ``SimSpec(engine="fast")``.
+    """
+
+    kernels: Tuple[str, ...]
+    overlays: Tuple[OverlaySpec, ...]
+    sim: Optional[SimSpec] = None
+    jobs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sim is None:
+            object.__setattr__(self, "sim", SimSpec(engine="fast"))
+        kernels = tuple(self.kernels)
+        if not kernels:
+            raise ConfigurationError("a sweep spec needs at least one kernel")
+        overlays = tuple(
+            spec if isinstance(spec, OverlaySpec) else OverlaySpec.from_dict(spec)
+            for spec in self.overlays
+        )
+        if not overlays:
+            raise ConfigurationError("a sweep spec needs at least one overlay spec")
+        object.__setattr__(self, "kernels", kernels)
+        object.__setattr__(self, "overlays", overlays)
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigurationError("jobs must be at least 1 (or None for auto)")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.kernels) * len(self.overlays)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernels": list(self.kernels),
+            "overlays": [spec.to_dict() for spec in self.overlays],
+            "sim": self.sim.to_dict(),
+            "jobs": self.jobs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        data = dict(_checked_fields(cls, data))
+        if "overlays" in data:
+            data["overlays"] = tuple(
+                spec if isinstance(spec, OverlaySpec) else OverlaySpec.from_dict(spec)
+                for spec in data["overlays"]
+            )
+        if "kernels" in data:
+            data["kernels"] = tuple(data["kernels"])
+        if isinstance(data.get("sim"), dict):
+            data["sim"] = SimSpec.from_dict(data["sim"])
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def _checked_fields(cls, data: Dict[str, Any]) -> Dict[str, Any]:
+    """Reject unknown keys so a typo in stored JSON fails loudly."""
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {cls.__name__} field(s) {', '.join(map(repr, unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return data

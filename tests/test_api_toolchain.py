@@ -1,0 +1,388 @@
+"""Tests for the :class:`repro.api.Toolchain` session API and its shims."""
+
+import dataclasses
+
+import pytest
+
+from repro import map_kernel
+from repro.api import CompiledHandle, Toolchain, default_toolchain
+from repro.engine.cache import ScheduleCache
+from repro.engine.sweep import SweepPoint, run_point
+from repro.errors import CodegenError, ConfigurationError
+from repro.kernels import get_kernel
+from repro.metrics.performance import evaluate_kernel
+from repro.overlay.resources import overlay_fmax_mhz
+from repro.specs import OverlaySpec, SimSpec, SweepSpec
+
+
+class TestCompile:
+    def test_compile_by_name(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v1"))
+        assert isinstance(handle, CompiledHandle)
+        assert handle.overlay.name == "V1x4"
+        assert handle.program is not None
+        assert handle.configuration.size_bytes > 0
+        assert not handle.schedule_only
+
+    def test_compile_resolves_spec(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v1"))
+        assert handle.spec == OverlaySpec("v1", depth=4, fixed=False)
+
+    def test_compile_source(self):
+        from repro.kernels.library import GRADIENT_C_SOURCE
+
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile(source=GRADIENT_C_SOURCE, overlay=OverlaySpec("v1"))
+        assert handle.kernel_name == "gradient"
+        assert handle.overlay.depth == 4
+        # Warm source call reuses the cache's source fast path.
+        again = tc.compile(source=GRADIENT_C_SOURCE, overlay=OverlaySpec("v1"))
+        assert again.schedule is handle.schedule
+        assert tc.cache.stats.source_hits == 1
+
+    def test_compile_rejects_raw_kwargs_style(self):
+        tc = Toolchain(cache=ScheduleCache())
+        with pytest.raises(ConfigurationError):
+            tc.compile("gradient", "v1")  # a spec object is required
+
+    def test_compile_kernel_and_source_mutually_exclusive(self):
+        tc = Toolchain(cache=ScheduleCache())
+        with pytest.raises(ConfigurationError):
+            tc.compile("gradient", OverlaySpec(), source="void f() {}")
+
+    def test_warm_compile_hits_the_injected_cache(self):
+        tc = Toolchain(cache=ScheduleCache())
+        first = tc.compile("gradient", OverlaySpec("v1"))
+        second = tc.compile("gradient", OverlaySpec("v1"))
+        assert second.schedule is first.schedule
+        assert tc.cache.stats.hits == 1
+        assert tc.cache.stats.misses == 1
+
+
+class TestSessionIsolation:
+    def test_separate_caches_share_no_compiled_state(self):
+        a = Toolchain(cache=ScheduleCache())
+        b = Toolchain(cache=ScheduleCache())
+        ha = a.compile("gradient", OverlaySpec("v1"))
+        hb = b.compile("gradient", OverlaySpec("v1"))
+        assert ha.schedule is not hb.schedule
+        assert ha.program is not hb.program
+        assert ha.configuration is not hb.configuration
+        assert a.cache.stats.misses == 1 and b.cache.stats.misses == 1
+        # ... and neither session touched the other's cache.
+        assert len(a.cache) == 1 and len(b.cache) == 1
+
+    def test_shared_cache_shares_compiled_state(self):
+        cache = ScheduleCache()
+        a = Toolchain(cache=cache)
+        b = Toolchain(cache=cache)
+        ha = a.compile("gradient", OverlaySpec("v1"))
+        hb = b.compile("gradient", OverlaySpec("v1"))
+        assert ha.schedule is hb.schedule
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_runtime_uses_session_cache(self):
+        tc = Toolchain(cache=ScheduleCache())
+        runtime = tc.runtime(OverlaySpec("v3", depth=8))
+        runtime.register("gradient")
+        assert tc.cache.stats.misses == 1
+        # The same compile through the session is now warm.
+        tc.compile("gradient", OverlaySpec("v3", depth=8))
+        assert tc.cache.stats.hits == 1
+
+
+class TestEvaluate:
+    def test_evaluate_matches_legacy_entry_point(self, gradient):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile(gradient, OverlaySpec("v1"))
+        assert tc.evaluate(handle) == evaluate_kernel(gradient, "v1")
+
+    def test_evaluate_returns_fresh_copies(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v1"))
+        first = tc.evaluate(handle)
+        first.measured_ii = 999.0  # caller-side mutation...
+        second = tc.evaluate(handle)
+        assert second.measured_ii is None  # ...never leaks into the memo
+        assert first is not second
+
+    def test_warm_evaluate_does_no_graph_work(self, monkeypatch):
+        import repro.metrics.performance as performance
+
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v1"))
+        warm_reference = tc.evaluate(handle)
+
+        def _boom(*args, **kwargs):  # pragma: no cover - would mean a failure
+            raise AssertionError("analytic graph work re-ran on a warm evaluate")
+
+        monkeypatch.setattr(performance, "estimate_resources", _boom)
+        monkeypatch.setattr(performance, "dfg_depth", _boom)
+        monkeypatch.setattr(performance, "analytic_ii", _boom)
+        assert tc.evaluate(handle) == warm_reference
+
+    def test_evaluate_with_sim_spec_measures(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v1"))
+        result = tc.evaluate(handle, sim=SimSpec(num_blocks=8))
+        assert result.simulated
+        assert result.measured_ii == pytest.approx(6)
+        assert result.reference_match is True
+
+    def test_evaluate_kernel_plus_spec_without_handle(self, gradient):
+        tc = Toolchain(cache=ScheduleCache())
+        result = tc.evaluate(gradient, OverlaySpec("v1"))
+        assert result.ii == pytest.approx(6)
+
+
+class TestSimulate:
+    def test_simulate_engines_agree(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("mibench", OverlaySpec("v1"))
+        fast = tc.simulate(handle, SimSpec(engine="fast", num_blocks=16))
+        cycle = tc.simulate(handle, SimSpec(engine="cycle", num_blocks=16))
+        assert fast.measured_ii == cycle.measured_ii
+        assert fast.total_cycles == cycle.total_cycles
+
+    def test_simulate_requires_handle(self):
+        tc = Toolchain(cache=ScheduleCache())
+        with pytest.raises(ConfigurationError):
+            tc.simulate("gradient", SimSpec())
+
+
+class TestSweep:
+    def test_sweep_spec_through_session(self):
+        tc = Toolchain(cache=ScheduleCache())
+        spec = SweepSpec(
+            kernels=("gradient", "chebyshev"),
+            overlays=(OverlaySpec("v1"),),
+            sim=SimSpec(engine="fast", num_blocks=8),
+            jobs=1,
+        )
+        results = tc.sweep(spec)
+        assert [r.kernel for r in results] == ["gradient", "chebyshev"]
+        assert all(r.matches_reference for r in results)
+        # Serial sweeps compile through the injected session cache.
+        assert tc.cache.stats.misses == 2
+
+    def test_sweep_requires_spec(self):
+        tc = Toolchain(cache=ScheduleCache())
+        with pytest.raises(ConfigurationError):
+            tc.sweep([SweepPoint(kernel="gradient", overlay=OverlaySpec("v1"))])
+
+
+class TestDepthOverrideBugfix:
+    """`map_kernel(depth=N)` on V1/V2 used to report critical-path metrics."""
+
+    @pytest.mark.parametrize("variant", ["v1", "v2"])
+    def test_depth_override_performance_describes_compiled_overlay(self, variant):
+        with pytest.warns(DeprecationWarning):
+            result = map_kernel("gradient", variant, depth=6)
+        assert result.overlay.depth == 6
+        assert result.performance.overlay_depth == 6
+        assert result.performance.overlay_name == result.overlay.name
+        assert result.performance.fmax_mhz == pytest.approx(
+            overlay_fmax_mhz(result.overlay.variant, 6)
+        )
+
+    def test_depth_override_consistent_with_toolchain(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v1", depth=6))
+        via_api = tc.evaluate(handle)
+        with pytest.warns(DeprecationWarning):
+            via_shim = map_kernel("gradient", "v1", depth=6)
+        assert via_shim.performance == via_api
+
+    def test_auto_depth_unchanged_and_warning_free(self, recwarn):
+        result = map_kernel("gradient", "v1")
+        assert result.performance.overlay_depth == 4
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]
+
+
+class TestShimBitIdentity:
+    def test_map_kernel_matches_toolchain(self):
+        tc = default_toolchain()
+        handle = tc.compile("qspline", OverlaySpec("v3"))
+        expected = tc.evaluate(handle)
+        result = map_kernel("qspline", "v3")
+        assert result.performance == expected
+        assert result.schedule is handle.schedule
+        assert result.program is handle.program
+        assert result.configuration is handle.configuration
+
+    def test_map_kernel_simulated_matches_toolchain(self):
+        tc = default_toolchain()
+        handle = tc.compile("gradient", OverlaySpec("v1"))
+        expected_sim = tc.simulate(handle, SimSpec(num_blocks=6))
+        result = map_kernel("gradient", "v1", simulate=True, num_blocks=6)
+        assert result.simulation.measured_ii == expected_sim.measured_ii
+        assert result.simulation.outputs == expected_sim.outputs
+        assert result.performance.measured_ii == expected_sim.measured_ii
+        assert result.performance.simulated
+
+    def test_evaluate_kernel_matches_toolchain(self, qspline):
+        tc = default_toolchain()
+        assert evaluate_kernel(qspline, "v4") == tc.evaluate(
+            qspline, OverlaySpec("v4")
+        )
+
+    def test_evaluate_kernel_depth_override_warns_and_is_honored(self, gradient):
+        with pytest.warns(DeprecationWarning):
+            result = evaluate_kernel(gradient, "v1", fixed_depth=6)
+        assert result.overlay_depth == 6
+
+    def test_legacy_sweep_point_matches_spec_point(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = SweepPoint(kernel="gradient", variant="v1", num_blocks=8)
+        spec = SweepPoint(
+            kernel="gradient",
+            overlay=OverlaySpec("v1"),
+            sim=SimSpec(engine="fast", num_blocks=8),
+        )
+        assert legacy == spec
+        legacy_row = run_point(legacy).as_row()
+        spec_row = run_point(spec).as_row()
+        legacy_row.pop("elapsed_s"), spec_row.pop("elapsed_s")
+        assert legacy_row == spec_row
+
+    def test_legacy_runtime_signature_matches_spec_signature(self):
+        from repro.runtime import OverlayRuntime, RuntimeManager
+
+        assert RuntimeManager is OverlayRuntime
+        with pytest.warns(DeprecationWarning):
+            legacy = OverlayRuntime("v3", depth=8, cache=ScheduleCache())
+        spec = OverlayRuntime(OverlaySpec("v3", depth=8), cache=ScheduleCache())
+        assert legacy.overlay == spec.overlay
+        assert (legacy.engine, legacy.verify) == (spec.engine, spec.verify)
+        a = legacy.register("gradient")
+        b = spec.register("gradient")
+        assert a.configuration.total_words == b.configuration.total_words
+        assert a.schedule.assignment == b.schedule.assignment
+
+
+class TestScheduleOnlyHandles:
+    def _overflowing_kernel(self):
+        """A kernel whose schedule is fine but whose register pressure
+        exceeds the rotating register file (codegen fails)."""
+        from repro.kernels.generators import dfg_from_level_profile
+
+        return dfg_from_level_profile(
+            [24, 20, 16, 12, 8, 4, 2, 1], num_inputs=8, name="fat"
+        )
+
+    def _instruction_overflow_kernel(self):
+        """A chain that overflows a depth-2 V3 FU's instruction memory while
+        its register pressure still fits (codegen fails, simulation works)."""
+        from repro.dfg.builder import DFGBuilder
+
+        builder = DFGBuilder("long_chain")
+        value = builder.input("a")
+        for index in range(20):
+            value = builder.add(value, builder.const(index + 1))
+        builder.output(value, "out")
+        return builder.build()
+
+    def test_schedule_only_fallback_evaluates(self):
+        dfg = self._overflowing_kernel()
+        tc = Toolchain(cache=ScheduleCache())
+        with pytest.raises(CodegenError):
+            tc.compile(dfg, OverlaySpec("v3"))
+        handle = tc.compile(dfg, OverlaySpec("v3"), allow_schedule_only=True)
+        assert handle.schedule_only
+        assert tc.evaluate(handle).ii > 0
+
+    def test_schedule_only_fallback_still_simulates(self):
+        dfg = self._instruction_overflow_kernel()
+        tc = Toolchain(cache=ScheduleCache())
+        spec = OverlaySpec("v3", depth=2)
+        with pytest.raises(CodegenError):
+            tc.compile(dfg, spec)
+        handle = tc.compile(dfg, spec, allow_schedule_only=True)
+        assert handle.schedule_only
+        # The simulator runs from the schedule, so codegen-overflow kernels
+        # still simulate (the historical evaluate_kernel(simulate=True) path).
+        result = tc.simulate(handle, SimSpec(num_blocks=4))
+        assert result.matches_reference
+
+    def test_evaluate_kernel_simulate_keeps_working_for_overflow_kernels(self):
+        result = evaluate_kernel(
+            self._instruction_overflow_kernel(), "v3", fixed_depth=2, simulate=True
+        )
+        assert result.simulated
+        assert result.reference_match is True
+
+    def test_legacy_positional_runtime_arguments(self):
+        from repro.runtime import OverlayRuntime
+
+        with pytest.warns(DeprecationWarning):
+            by_position = OverlayRuntime("v3", 8)
+        assert by_position.overlay.depth == 8
+        with pytest.warns(DeprecationWarning):
+            no_verify = OverlayRuntime("v1", 4, False)
+        assert no_verify.verify is False
+        assert no_verify.cache is not False
+        with pytest.warns(DeprecationWarning):
+            full = OverlayRuntime("v1", 4, True, "fast")
+        assert (full.engine, full.verify) == ("fast", True)
+        with pytest.warns(DeprecationWarning):
+            mixed = OverlayRuntime("v3", 8, True, "cycle", cache=ScheduleCache())
+        assert mixed.cache is not None and mixed.overlay.depth == 8
+        with pytest.raises(ConfigurationError):
+            OverlayRuntime(SimSpec())  # specs in the wrong slot fail loudly
+        with pytest.raises(ConfigurationError):
+            OverlayRuntime("v3", SimSpec())  # legacy/spec mix fails loudly
+
+    def test_legacy_positional_sweep_point(self):
+        with pytest.warns(DeprecationWarning):
+            positional = SweepPoint("gradient", "v1", 6)
+        assert positional.overlay == OverlaySpec("v1", depth=6)
+        run_point(positional)  # must execute, not AttributeError
+        with pytest.raises(ConfigurationError):
+            SweepPoint("gradient", OverlaySpec("v1"), "occupancy")
+
+    def test_map_kernel_simulated_latency_is_consistent(self):
+        from repro.metrics.performance import latency_ns
+
+        result = map_kernel("gradient", "v1", simulate=True, num_blocks=8)
+        performance = result.performance
+        assert performance.latency_cycles == float(result.simulation.latency_cycles)
+        assert performance.latency_ns == pytest.approx(
+            latency_ns(performance.latency_cycles, performance.fmax_mhz)
+        )
+
+    def test_source_compile_allow_schedule_only(self):
+        tc = Toolchain(cache=ScheduleCache())
+        # 20 chained adds: fits V3's RF but overflows a depth-2 FU's
+        # instruction memory (codegen fails, schedule-only fallback works).
+        lines = ["int t0 = a + 1;"] + [
+            f"int t{i} = t{i - 1} + {i + 1};" for i in range(1, 20)
+        ]
+        source = (
+            "void long_chain(int a, int *out) {\n"
+            + "\n".join(lines)
+            + "\n*out = t19;\n}"
+        )
+        spec = OverlaySpec("v3", depth=2)
+        with pytest.raises(CodegenError):
+            tc.compile(source=source, overlay=spec)
+        handle = tc.compile(source=source, overlay=spec, allow_schedule_only=True)
+        assert handle.schedule_only
+        assert tc.evaluate(handle).ii > 0
+
+    def test_isolated_session_sweep_never_touches_default_cache(self):
+        from repro.engine.cache import default_cache
+
+        tc = Toolchain(cache=ScheduleCache())
+        shared = default_cache()
+        before = (shared.stats.hits, shared.stats.misses)
+        tc.sweep(
+            SweepSpec(
+                kernels=("chebyshev",),
+                overlays=(OverlaySpec("v1"),),
+                sim=SimSpec(engine="fast", num_blocks=4),
+            )
+        )
+        assert tc.cache.stats.misses == 1
+        assert (shared.stats.hits, shared.stats.misses) == before

@@ -21,6 +21,7 @@ EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
 #: Pages the documentation site must always provide.
 REQUIRED_PAGES = [
     os.path.join(REPO_ROOT, "README.md"),
+    os.path.join(DOCS_DIR, "api.md"),
     os.path.join(DOCS_DIR, "architecture.md"),
     os.path.join(DOCS_DIR, "compiler.md"),
     os.path.join(DOCS_DIR, "engine.md"),
