@@ -1,0 +1,135 @@
+"""Scheduler-strategy comparison harness and warm-compile regression gate.
+
+Two jobs:
+
+* **Strategy comparison** — compile every library kernel with each
+  registered strategy on the paper's fixed depth-8 V3 overlay (plus the
+  auto-sized V1 path where the strategy applies), measure II in the fast
+  engine, and record the per-strategy mean II and throughput into
+  ``BENCH_results.json`` (``scheduler_<name>_mean_ii`` /
+  ``scheduler_<name>_mean_gops``).  This is the result class the paper only
+  gestures at: the measured gap between the overlay's architecture-aware
+  clustered schedules and classic iterative modulo scheduling, across the
+  whole kernel library.
+* **Regression gate** — threading the strategy through the compile path
+  (spec field, cache key, registry dispatch) must not slow the *default*
+  warm compile down: warm ``Toolchain.compile`` with the default ``auto``
+  strategy stays within ``MAX_WARM_COMPILE_RATIO`` (1.1x) of a raw
+  ``ScheduleCache`` hit — the PR 2/4 cached-baseline path.  Recorded as
+  ``scheduler_warm_compile_ratio``.
+"""
+
+import time
+
+from repro.api import Toolchain
+from repro.engine.cache import ScheduleCache
+from repro.errors import InfeasibleScheduleError
+from repro.kernels import get_kernel, kernel_names
+from repro.metrics.performance import throughput_gops
+from repro.overlay.resources import overlay_fmax_mhz
+from repro.schedule import schedule_with, scheduler_names
+from repro.sim.overlay import simulate_schedule
+from repro.specs import OverlaySpec
+
+#: Warm-compile calls per timing sample.
+CALLS = 2000
+
+#: Timing samples per contender (the minimum squeezes out scheduler noise).
+SAMPLES = 5
+
+#: Gate: warm default-strategy compile vs the raw cached-baseline hit.
+MAX_WARM_COMPILE_RATIO = 1.1
+
+#: Blocks per measurement run (enough for a steady-state II).
+NUM_BLOCKS = 8
+
+
+def _best_of(fn, calls=CALLS, samples=SAMPLES) -> float:
+    best = float("inf")
+    for _ in range(samples):
+        started = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_strategy_ii_comparison(record_metric, save_result):
+    """Per-strategy measured II/throughput across the kernel library (V3x8)."""
+    lines = [
+        f"{'kernel':10s} " + " ".join(f"{name:>10s}" for name in scheduler_names()),
+    ]
+    per_strategy_ii = {name: [] for name in scheduler_names()}
+    per_strategy_gops = {name: [] for name in scheduler_names()}
+    for kernel_name in kernel_names():
+        dfg = get_kernel(kernel_name)
+        overlay = OverlaySpec(variant="v3").build_overlay(dfg)
+        fmax = overlay_fmax_mhz(overlay.variant, overlay.depth)
+        cells = []
+        for strategy in scheduler_names():
+            try:
+                schedule = schedule_with(strategy, get_kernel(kernel_name), overlay)
+            except InfeasibleScheduleError:
+                cells.append(f"{'-':>10s}")
+                continue
+            result = simulate_schedule(
+                schedule, num_blocks=NUM_BLOCKS, engine="fast"
+            )
+            assert result.matches_reference, (kernel_name, strategy)
+            ii = result.measured_ii
+            per_strategy_ii[strategy].append(ii)
+            per_strategy_gops[strategy].append(
+                throughput_gops(dfg.num_operations, ii, fmax)
+            )
+            cells.append(f"{ii:10.2f}")
+        lines.append(f"{kernel_name:10s} " + " ".join(cells))
+
+    for strategy in scheduler_names():
+        iis = per_strategy_ii[strategy]
+        if not iis:
+            continue
+        record_metric(
+            f"scheduler_{strategy}_mean_ii", sum(iis) / len(iis)
+        )
+        gops = per_strategy_gops[strategy]
+        record_metric(
+            f"scheduler_{strategy}_mean_gops", sum(gops) / len(gops)
+        )
+    save_result(
+        "scheduler_compare",
+        "measured II per scheduling strategy (V3x8, fast engine, "
+        f"{NUM_BLOCKS} blocks):\n" + "\n".join(lines),
+    )
+
+
+def test_default_warm_compile_regression_gate(record_metric, save_result):
+    """The default strategy's warm compile stays <= 1.1x a raw cache hit."""
+    cache = ScheduleCache()
+    toolchain = Toolchain(cache=cache)
+    dfg = get_kernel("gradient")
+    spec = OverlaySpec("v1")
+    overlay = toolchain.compile(dfg, spec).overlay  # warm both paths
+
+    baseline_s = _best_of(lambda: cache.get_or_compile(dfg, overlay))
+    default_s = _best_of(lambda: toolchain.compile(dfg, spec))
+    ratio = default_s / baseline_s
+
+    record_metric("scheduler_warm_compile_ratio", ratio)
+    save_result(
+        "scheduler_warm_compile",
+        "\n".join(
+            [
+                "default-strategy warm compile, best of "
+                f"{SAMPLES} x {CALLS} calls (gradient on V1x4):",
+                f"  raw cached-baseline hit        : {baseline_s / CALLS * 1e6:8.2f} us/call",
+                f"  Toolchain.compile (auto)       : {default_s / CALLS * 1e6:8.2f} us/call",
+                f"  ratio                          : {ratio:8.3f}x "
+                f"(gate: <= {MAX_WARM_COMPILE_RATIO}x)",
+            ]
+        ),
+    )
+    assert ratio <= MAX_WARM_COMPILE_RATIO, (
+        f"the scheduler-keyed warm compile path is {ratio:.2f}x the cached "
+        f"baseline (gate: {MAX_WARM_COMPILE_RATIO}x) — strategy plumbing "
+        "grew per-call work on the default path"
+    )

@@ -9,9 +9,11 @@ The package implements the paper's complete system in pure Python:
 * the **overlay architecture models** — FU variants [14]/V1-V5, the linear
   overlay, calibrated FPGA resource / Fmax / context-switch models
   (:mod:`repro.overlay`),
-* the **mapping tool flow** — ASAP and fixed-depth greedy scheduling,
-  IWP-aware ordering, register allocation, 32-bit instruction generation and
-  configuration images (:mod:`repro.schedule`, :mod:`repro.program`),
+* the **mapping tool flow** — a pluggable scheduler-strategy registry (ASAP
+  linear, fixed-depth greedy clustering, executable iterative modulo
+  scheduling, plus user-registered strategies), IWP-aware ordering, register
+  allocation, 32-bit instruction generation and configuration images
+  (:mod:`repro.schedule`, :mod:`repro.program`),
 * the **cycle-accurate simulator** that runs the generated programs and
   measures II / latency while checking functional correctness
   (:mod:`repro.sim`),
@@ -54,7 +56,15 @@ from .metrics.performance import PerformanceResult, evaluate_kernel
 from .overlay import FU_VARIANTS, LinearOverlay, get_variant
 from .program.codegen import OverlayProgram, generate_program
 from .program.binary import ConfigurationImage, build_configuration_image
-from .schedule import OverlaySchedule, analytic_ii, schedule_kernel
+from .schedule import (
+    OverlaySchedule,
+    SchedulerStrategy,
+    analytic_ii,
+    get_scheduler,
+    register_scheduler,
+    schedule_kernel,
+    scheduler_names,
+)
 from .sim import SimulationResult, simulate_schedule
 from .specs import OverlaySpec, SimSpec, SweepSpec
 from .api import (
@@ -82,6 +92,10 @@ __all__ = [
     "get_variant",
     "OverlaySchedule",
     "schedule_kernel",
+    "SchedulerStrategy",
+    "register_scheduler",
+    "get_scheduler",
+    "scheduler_names",
     "analytic_ii",
     "OverlayProgram",
     "generate_program",

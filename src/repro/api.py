@@ -140,7 +140,9 @@ class Toolchain:
         except CodegenError:
             if not allow_schedule_only:
                 raise
-            schedule = self.cache.get_schedule(dfg, built)
+            schedule = self.cache.get_schedule(
+                dfg, built, scheduler=resolved.scheduler
+            )
             return CompiledHandle(
                 dfg=dfg,
                 overlay=built,
@@ -181,7 +183,9 @@ class Toolchain:
                 while len(self._resolved) > 4 * self.cache.capacity:
                     self._resolved.popitem(last=False)
         try:
-            compiled = self.cache.get_or_compile_source(source, built, name=name)
+            compiled = self.cache.get_or_compile_source(
+                source, built, name=name, scheduler=resolved.scheduler
+            )
         except CodegenError:
             if not allow_schedule_only:
                 raise
@@ -190,7 +194,9 @@ class Toolchain:
                 dfg=dfg,
                 overlay=built,
                 spec=resolved,
-                schedule=self.cache.get_schedule(dfg, built),
+                schedule=self.cache.get_schedule(
+                    dfg, built, scheduler=resolved.scheduler
+                ),
                 program=None,
                 configuration=None,
                 key=key,
@@ -215,6 +221,8 @@ class Toolchain:
             if entry is not None:
                 self._resolved.move_to_end(rkey)
                 return entry
+        from .schedule.registry import resolve_strategy_name
+
         built = spec.build_overlay(dfg)
         entry = (
             built,
@@ -223,7 +231,12 @@ class Toolchain:
                 depth=built.depth,
                 fixed=built.fixed_depth,
                 fifo_depth=spec.fifo_depth,
+                scheduler=spec.scheduler,
             ),
+            # The key canonicalises the strategy ("auto" -> the concrete
+            # strategy its dispatch selects), so the default shares cache
+            # entries with an explicit "linear"/"clustered" compile; the
+            # resolved spec keeps the requested name.
             CacheKey(
                 kernel_name=dfg.name,
                 dfg_hash=fingerprint,
@@ -231,6 +244,7 @@ class Toolchain:
                 depth=built.depth,
                 fixed_depth=built.fixed_depth,
                 fifo_depth=built.fifo_depth,
+                scheduler=resolve_strategy_name(spec.scheduler, built),
             ),
         )
         with self._lock:

@@ -4,6 +4,8 @@
 
     repro-overlay kernels [--json]                # list benchmark kernels
     repro-overlay variants [--json]               # list FU variants (Table I)
+    repro-overlay schedulers [--json]             # list scheduling strategies
+    repro-overlay map --kernel qspline --variant v3 --scheduler modulo
     repro-overlay map --kernel gradient --variant v1
     repro-overlay map --source my_kernel.c --variant v2   # your own mini-C file
     repro-overlay simulate --kernel qspline --variant v3 --depth 8 --blocks 16
@@ -53,6 +55,8 @@ from .visualize import clusters_to_dot, dfg_to_dot, schedule_listing
 # ---------------------------------------------------------------------------
 def add_overlay_args(parser: argparse.ArgumentParser, default_variant: str = "v1") -> None:
     """Declare the overlay knobs (parsed by :func:`overlay_spec_from_args`)."""
+    from .schedule.registry import scheduler_names
+
     parser.add_argument("--variant", default=default_variant, choices=list(FU_VARIANTS))
     parser.add_argument(
         "--depth",
@@ -60,6 +64,13 @@ def add_overlay_args(parser: argparse.ArgumentParser, default_variant: str = "v1
         default=None,
         help="override the overlay depth (default: auto sizing — critical "
         "path for [14]/V1/V2, the paper's fixed depth 8 for V3-V5)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="auto",
+        choices=scheduler_names(),
+        help="scheduling strategy (default: auto — the paper's policy "
+        "dispatch; see 'repro-overlay schedulers' for the registry)",
     )
 
 
@@ -101,7 +112,11 @@ def add_sim_args(
 
 def overlay_spec_from_args(args: argparse.Namespace) -> OverlaySpec:
     """The :class:`OverlaySpec` an :func:`add_overlay_args` parse describes."""
-    return OverlaySpec(variant=args.variant, depth=args.depth)
+    return OverlaySpec(
+        variant=args.variant,
+        depth=args.depth,
+        scheduler=getattr(args, "scheduler", "auto"),
+    )
 
 
 def sim_spec_from_args(args: argparse.Namespace) -> SimSpec:
@@ -282,6 +297,8 @@ def _parse_name_list(text: str, universe: List[str], what: str) -> List[str]:
 
 def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     """The :class:`SweepSpec` a ``sweep`` invocation describes."""
+    from .schedule.registry import scheduler_names
+
     kernels = _parse_name_list(args.kernels, kernel_names(), "kernel")
     variants = _parse_name_list(args.variants, list(FU_VARIANTS), "variant")
     depths: List[Optional[int]] = [None]
@@ -293,6 +310,11 @@ def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
             raise ReproError(
                 f"--depths must be a comma-separated list of integers, got {args.depths!r}"
             )
+    schedulers = None
+    if getattr(args, "schedulers", None):
+        schedulers = tuple(
+            _parse_name_list(args.schedulers, scheduler_names(), "scheduler")
+        )
     return SweepSpec(
         kernels=tuple(kernels),
         overlays=tuple(
@@ -302,6 +324,7 @@ def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         ),
         sim=sim_spec_from_args(args),
         jobs=args.jobs,
+        schedulers=schedulers,
     )
 
 
@@ -365,6 +388,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedulers(args: argparse.Namespace) -> int:
+    from .schedule.registry import scheduler_strategies
+
+    rows = [strategy.as_row() for strategy in scheduler_strategies()]
+    if args.json:
+        _print_json(rows)
+        return 0
+    for row in rows:
+        marker = "*" if row["default"] else " "
+        folds = "folds levels" if row["folds_levels"] else "one level/FU"
+        print(f"{marker} {row['name']:10s} [{folds}] {row['description']}")
+    print("\n(* default; select with --scheduler on map/simulate, "
+          "--schedulers on sweep, or OverlaySpec(scheduler=...))")
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> int:
     series = {args.variant: scalability_sweep(args.variant, range(2, args.max_depth + 1, 2))}
     print(render_fig5_series(series))
@@ -375,9 +414,14 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     dfg = get_kernel(args.kernel)
     if args.clusters:
         spec = OverlaySpec(
-            variant=args.variant, depth=args.depth if args.depth else 4, fixed=True
+            variant=args.variant,
+            depth=args.depth if args.depth else 4,
+            fixed=True,
+            scheduler=getattr(args, "scheduler", "auto"),
         )
-        schedule = schedule_kernel(dfg, spec.build_overlay(dfg))
+        schedule = schedule_kernel(
+            dfg, spec.build_overlay(dfg), scheduler=spec.scheduler
+        )
         print(clusters_to_dot(dfg, schedule.assignment))
     else:
         print(dfg_to_dot(dfg))
@@ -432,6 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="comma-separated overlay depths (empty = auto per kernel/variant)",
     )
+    p_sweep.add_argument(
+        "--schedulers",
+        "--scheduler",
+        default="",
+        help="comma-separated scheduling strategies, or 'all' — adds a "
+        "scheduler axis to the grid (empty = the default auto strategy)",
+    )
     add_sim_args(p_sweep, default_engine="fast", verify_flag=True)
     p_sweep.add_argument(
         "--jobs", type=int, default=None, help="worker processes (default: CPU count)"
@@ -447,6 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table3", help="regenerate the paper's Table III").set_defaults(
         func=_cmd_table3
     )
+
+    p_scheds = sub.add_parser(
+        "schedulers", help="list the registered scheduling strategies"
+    )
+    p_scheds.add_argument("--json", action="store_true", help="emit JSON rows")
+    p_scheds.set_defaults(func=_cmd_schedulers)
 
     p_scale = sub.add_parser("scalability", help="Fig. 5 resource/Fmax sweep")
     p_scale.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))

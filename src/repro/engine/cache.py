@@ -8,7 +8,7 @@ same nine kernels on the same five variants over and over — so this module
 memoises the compiled artifacts:
 
 * the **key** is ``(kernel name, DFG content hash, FU variant, depth,
-  fixed-depth flag, FIFO depth)``.  The DFG hash
+  fixed-depth flag, FIFO depth, scheduler strategy)``.  The DFG hash
   (:func:`repro.dfg.serialize.dfg_fingerprint`) covers the full node list
   (ids, opcodes, operands, names, constant values) via the canonical JSON
   serialization, so two structurally identical DFG copies hit the same entry
@@ -64,7 +64,16 @@ def dfg_content_hash(dfg: DFG) -> str:
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Everything the mapping flow's output depends on."""
+    """Everything the mapping flow's output depends on.
+
+    ``scheduler`` is the strategy name from
+    :mod:`repro.schedule.registry`; two strategies compiling the same
+    (kernel, overlay) pair can never collide on one entry.
+    :meth:`for_mapping` canonicalises the name (``"auto"`` resolves to the
+    concrete strategy its dispatch selects for the overlay), so an ``auto``
+    compile *shares* its entry with that concrete strategy instead of
+    duplicating the work.
+    """
 
     kernel_name: str
     dfg_hash: str
@@ -72,9 +81,14 @@ class CacheKey:
     depth: int
     fixed_depth: bool
     fifo_depth: int
+    scheduler: str = "auto"
 
     @classmethod
-    def for_mapping(cls, dfg: DFG, overlay: LinearOverlay) -> "CacheKey":
+    def for_mapping(
+        cls, dfg: DFG, overlay: LinearOverlay, scheduler: str = "auto"
+    ) -> "CacheKey":
+        from ..schedule.registry import resolve_strategy_name
+
         return cls(
             kernel_name=dfg.name,
             dfg_hash=dfg_content_hash(dfg),
@@ -82,13 +96,15 @@ class CacheKey:
             depth=overlay.depth,
             fixed_depth=overlay.fixed_depth,
             fifo_depth=overlay.fifo_depth,
+            scheduler=resolve_strategy_name(scheduler, overlay),
         )
 
     def filename(self) -> str:
         """Stable on-disk name for the pickle layer."""
         digest = hashlib.sha256(
             f"{self.kernel_name}|{self.dfg_hash}|{self.variant_name}|"
-            f"{self.depth}|{self.fixed_depth}|{self.fifo_depth}".encode("utf-8")
+            f"{self.depth}|{self.fixed_depth}|{self.fifo_depth}|"
+            f"{self.scheduler}".encode("utf-8")
         ).hexdigest()[:32]
         return f"{self.kernel_name}-{self.variant_name}-{digest}.pkl"
 
@@ -173,9 +189,15 @@ class ScheduleCache:
             self.stats = CacheStats()
 
     # ------------------------------------------------------------------
-    def get_or_compile(self, dfg: DFG, overlay: LinearOverlay) -> CompiledKernel:
-        """Return the compiled artifacts, running the mapping flow on a miss."""
-        key = CacheKey.for_mapping(dfg, overlay)
+    def get_or_compile(
+        self, dfg: DFG, overlay: LinearOverlay, scheduler: str = "auto"
+    ) -> CompiledKernel:
+        """Return the compiled artifacts, running the mapping flow on a miss.
+
+        ``scheduler`` selects the registered scheduling strategy; every
+        strategy has its own cache entries (it is part of the key).
+        """
+        key = CacheKey.for_mapping(dfg, overlay, scheduler)
         return self._get_or_compile_keyed(key, dfg, overlay)
 
     def get_or_compile_keyed(
@@ -189,7 +211,9 @@ class ScheduleCache:
         """
         return self._get_or_compile_keyed(key, dfg, overlay)
 
-    def get_schedule(self, dfg: DFG, overlay: LinearOverlay) -> OverlaySchedule:
+    def get_schedule(
+        self, dfg: DFG, overlay: LinearOverlay, scheduler: str = "auto"
+    ) -> OverlaySchedule:
         """Return the schedule, even for kernels whose codegen fails.
 
         The analytic evaluation path (:func:`repro.metrics.performance.
@@ -204,7 +228,7 @@ class ScheduleCache:
         """
         from ..errors import CodegenError
 
-        key = CacheKey.for_mapping(dfg, overlay)
+        key = CacheKey.for_mapping(dfg, overlay, scheduler)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
@@ -222,7 +246,7 @@ class ScheduleCache:
             # Reschedule once (the failed compile's schedule is out of reach)
             # and memoise it; this path runs at most once per (kernel,
             # overlay) pair per cache lifetime.
-            schedule = schedule_kernel(dfg, overlay)
+            schedule = schedule_kernel(dfg, overlay, scheduler=key.scheduler)
             with self._lock:
                 self.stats.misses += 1
                 self._schedule_index[key] = schedule
@@ -236,6 +260,7 @@ class ScheduleCache:
         overlay: LinearOverlay,
         name: Optional[str] = None,
         run_optimizer: bool = True,
+        scheduler: str = "auto",
     ) -> CompiledKernel:
         """Compile mini-C source end-to-end, reusing every cached stage.
 
@@ -249,7 +274,9 @@ class ScheduleCache:
         """
         from ..frontend.cache import default_frontend_cache
         from ..frontend.lexer import source_hash
+        from ..schedule.registry import resolve_strategy_name
 
+        scheduler = resolve_strategy_name(scheduler, overlay)
         skey = (
             source_hash(source),
             name,
@@ -258,6 +285,7 @@ class ScheduleCache:
             overlay.depth,
             overlay.fixed_depth,
             overlay.fifo_depth,
+            scheduler,
         )
         with self._lock:
             key = self._source_index.get(skey)
@@ -270,7 +298,7 @@ class ScheduleCache:
                     return cached
 
         dfg = default_frontend_cache().dfg(source, name=name, run_optimizer=run_optimizer)
-        key = CacheKey.for_mapping(dfg, overlay)
+        key = CacheKey.for_mapping(dfg, overlay, scheduler)
         compiled = self._get_or_compile_keyed(key, dfg, overlay)
         with self._lock:
             self._source_index[skey] = key
@@ -296,7 +324,7 @@ class ScheduleCache:
 
         from .fastsim import steady_state_warmup_bound
 
-        schedule = schedule_kernel(dfg, overlay)
+        schedule = schedule_kernel(dfg, overlay, scheduler=key.scheduler)
         program = generate_program(schedule)
         configuration = build_configuration_image(schedule, program)
         compiled = CompiledKernel(

@@ -158,6 +158,10 @@ class SweepPoint:
     def detector(self) -> str:
         return self.sim.detector
 
+    @property
+    def scheduler(self) -> str:
+        return self.overlay.scheduler
+
 
 @dataclass
 class SweepResult:
@@ -170,6 +174,7 @@ class SweepResult:
     num_blocks: int
     engine: str
     detector: str
+    scheduler: str
     analytic_ii: float
     #: None when the run completed fewer than two blocks (no measurable II);
     #: ``throughput_gops`` then falls back to the analytic II.
@@ -180,6 +185,16 @@ class SweepResult:
     throughput_gops: float
     matches_reference: Optional[bool]
     elapsed_s: float
+    #: Why this point has no measurements (an infeasible strategy/overlay
+    #: combination — e.g. ``linear`` on a kernel deeper than the overlay);
+    #: ``None`` for measured points.  Infeasible points are reported rather
+    #: than aborting the grid, so scheduler-axis sweeps can mix strategies
+    #: with different feasibility envelopes.
+    error: Optional[str] = None
+
+    @property
+    def infeasible(self) -> bool:
+        return self.error is not None
 
     def as_row(self) -> Dict[str, object]:
         return asdict(self)
@@ -197,15 +212,19 @@ def build_grid(
     *,
     overlays: Optional[Sequence[OverlaySpec]] = None,
     sim: Optional[SimSpec] = None,
+    schedulers: Optional[Sequence[str]] = None,
 ) -> List[SweepPoint]:
     """Cross kernels x overlay specs into a list of spec-keyed sweep points.
 
     Canonical usage passes ``overlays=[OverlaySpec(...), ...]`` and
-    ``sim=SimSpec(...)``.  The historical flat kwargs (``variants``,
-    ``depths``, ``num_blocks``, ``engine``, ``detector``, ...) keep working
-    as a deprecation shim: ``variants x depths`` expands into overlay specs
-    (a 0 depth entry means auto sizing) and the rest packs into one
-    :class:`~repro.specs.SimSpec`.
+    ``sim=SimSpec(...)``.  ``schedulers=`` adds the scheduling-strategy
+    axis: every overlay spec is re-keyed with each named strategy
+    (overlay-major, scheduler innermost), exactly like
+    :attr:`~repro.specs.SweepSpec.schedulers`.  The historical flat kwargs
+    (``variants``, ``depths``, ``num_blocks``, ``engine``, ``detector``,
+    ...) keep working as a deprecation shim: ``variants x depths`` expands
+    into overlay specs (a 0 depth entry means auto sizing) and the rest
+    packs into one :class:`~repro.specs.SimSpec`.
     """
     legacy = {
         "variants": variants,
@@ -237,6 +256,12 @@ def build_grid(
             for variant in (variants if variants is not None else ("v1", "v2"))
             for depth in depth_options
         ]
+    if schedulers is not None:
+        overlays = [
+            spec.with_scheduler(scheduler)
+            for spec in overlays
+            for scheduler in schedulers
+        ]
     if sim is None:
         sim = SimSpec(
             engine=engine if engine is not None else "fast",
@@ -259,24 +284,15 @@ def run_point(point: SweepPoint, cache: Optional[ScheduleCache] = None) -> Sweep
     session API (:meth:`repro.api.Toolchain.sweep`) passes its injected
     cache for serial execution.
     """
+    from ..errors import InfeasibleScheduleError
     from ..schedule import analytic_ii  # local import keeps worker start cheap
 
     started = time.perf_counter()
     sim = point.sim
     dfg = get_kernel(point.kernel)
     overlay = point.overlay.build_overlay(dfg)
-    compiled = (cache if cache is not None else default_cache()).get_or_compile(
-        dfg, overlay
-    )
-    schedule = compiled.schedule
-    result = simulate_schedule_with(schedule, sim)
-    fmax = overlay_fmax_mhz(overlay.variant, overlay.depth)
-    analytic = float(analytic_ii(schedule))
-    # A run too short to complete two blocks has no measurable II; report it
-    # as unmeasured and fall back to the analytic model for throughput.
-    measured = None if result.measured_ii is None else float(result.measured_ii)
-    throughput_ii = analytic if measured is None else measured
-    return SweepResult(
+    # Everything that identifies the point, shared by both outcomes below.
+    identity = dict(
         kernel=point.kernel,
         variant=overlay.variant.name,
         overlay_name=overlay.name,
@@ -284,16 +300,49 @@ def run_point(point: SweepPoint, cache: Optional[ScheduleCache] = None) -> Sweep
         num_blocks=sim.num_blocks,
         engine=sim.engine,
         detector=sim.detector,
+        scheduler=point.overlay.scheduler,
+        fmax_mhz=float(overlay_fmax_mhz(overlay.variant, overlay.depth)),
+    )
+    try:
+        compiled = (cache if cache is not None else default_cache()).get_or_compile(
+            dfg, overlay, scheduler=point.overlay.scheduler
+        )
+    except (InfeasibleScheduleError, ConfigurationError) as error:
+        # An infeasible strategy/overlay pairing is a property of the grid
+        # point, not a sweep failure: report it so mixed-strategy grids
+        # (e.g. --schedulers all) keep running.  ConfigurationError covers
+        # a user-registered strategy that a spawn-started worker process
+        # never saw registered (register strategies at import time of a
+        # module the workers import to avoid it).
+        return SweepResult(
+            analytic_ii=0.0,
+            measured_ii=None,
+            latency_cycles=0,
+            total_cycles=0,
+            throughput_gops=0.0,
+            matches_reference=None,
+            elapsed_s=time.perf_counter() - started,
+            error=str(error),
+            **identity,
+        )
+    schedule = compiled.schedule
+    result = simulate_schedule_with(schedule, sim)
+    analytic = float(analytic_ii(schedule))
+    # A run too short to complete two blocks has no measurable II; report it
+    # as unmeasured and fall back to the analytic model for throughput.
+    measured = None if result.measured_ii is None else float(result.measured_ii)
+    throughput_ii = analytic if measured is None else measured
+    return SweepResult(
         analytic_ii=analytic,
         measured_ii=measured,
         latency_cycles=int(result.latency_cycles),
         total_cycles=int(result.total_cycles),
-        fmax_mhz=float(fmax),
         throughput_gops=throughput_gops(
-            schedule.dfg.num_operations, throughput_ii, fmax
+            schedule.dfg.num_operations, throughput_ii, identity["fmax_mhz"]
         ),
         matches_reference=result.matches_reference,
         elapsed_s=time.perf_counter() - started,
+        **identity,
     )
 
 
@@ -373,12 +422,14 @@ def run_sweep_spec(
     """Expand a :class:`~repro.specs.SweepSpec` into its grid and run it.
 
     The grid is ``kernels x overlays`` in spec order (kernel-major), each
-    point sharing the spec's :class:`~repro.specs.SimSpec`.
+    point sharing the spec's :class:`~repro.specs.SimSpec`; a
+    ``schedulers`` axis expands innermost (every overlay spec re-keyed per
+    strategy, via :meth:`~repro.specs.SweepSpec.grid_overlays`).
     """
     points = [
         SweepPoint(kernel=kernel, overlay=overlay, sim=spec.sim)
         for kernel in spec.kernels
-        for overlay in spec.overlays
+        for overlay in spec.grid_overlays()
     ]
     return run_sweep(points, jobs=spec.jobs, cache=cache)
 
@@ -422,16 +473,23 @@ def results_to_json(results: Sequence[SweepResult], indent: int = 2) -> str:
 def render_sweep_table(results: Sequence[SweepResult]) -> str:
     """Plain-text table of sweep results (CLI output)."""
     header = (
-        f"{'kernel':10s} {'overlay':8s} {'blocks':>6s} {'II':>7s} {'meas II':>8s} "
-        f"{'lat cyc':>8s} {'GOPS':>7s} {'ref':>4s} {'sim s':>8s}"
+        f"{'kernel':10s} {'overlay':8s} {'sched':9s} {'blocks':>6s} {'II':>7s} "
+        f"{'meas II':>8s} {'lat cyc':>8s} {'GOPS':>7s} {'ref':>4s} {'sim s':>8s}"
     )
     lines = [header, "-" * len(header)]
     for r in results:
+        if r.infeasible:
+            lines.append(
+                f"{r.kernel:10s} {r.overlay_name:8s} {r.scheduler:9s} "
+                f"infeasible ({r.error})"
+            )
+            continue
         check = {True: "OK", False: "FAIL", None: "-"}[r.matches_reference]
         measured = "-" if r.measured_ii is None else f"{r.measured_ii:.2f}"
         lines.append(
-            f"{r.kernel:10s} {r.overlay_name:8s} {r.num_blocks:6d} "
-            f"{r.analytic_ii:7.2f} {measured:>8s} {r.latency_cycles:8d} "
-            f"{r.throughput_gops:7.3f} {check:>4s} {r.elapsed_s:8.4f}"
+            f"{r.kernel:10s} {r.overlay_name:8s} {r.scheduler:9s} "
+            f"{r.num_blocks:6d} {r.analytic_ii:7.2f} {measured:>8s} "
+            f"{r.latency_cycles:8d} {r.throughput_gops:7.3f} {check:>4s} "
+            f"{r.elapsed_s:8.4f}"
         )
     return "\n".join(lines)

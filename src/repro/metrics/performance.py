@@ -95,6 +95,7 @@ class PerformanceResult:
             "latency_ns": round(self.latency_ns, 1),
             "dsp": self.dsp_blocks,
             "slices": self.logic_slices,
+            "scheduler": self.scheduler,
         }
 
 

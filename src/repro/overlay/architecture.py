@@ -64,9 +64,7 @@ class LinearOverlay:
                 "cannot implement a fixed-depth overlay (only V3-V5 can)"
             )
         if not self.name:
-            object.__setattr__(
-                self, "name", f"{self.variant.paper_label}x{self.depth}"
-            )
+            object.__setattr__(self, "name", self.default_name)
 
     # ------------------------------------------------------------------
     # constructors
@@ -139,9 +137,20 @@ class LinearOverlay:
             return False
         return dfg_depth(dfg) != self.depth
 
+    @property
+    def default_name(self) -> str:
+        """The auto-generated ``<variant>xN`` label for this configuration."""
+        return f"{self.variant.paper_label}x{self.depth}"
+
     def resized(self, depth: int) -> "LinearOverlay":
-        """Return a copy of this overlay with a different depth."""
-        return replace(self, depth=depth, name="")
+        """Return a copy of this overlay with a different depth.
+
+        An auto-generated name is regenerated for the new depth (a ``V3x8``
+        resized to depth 4 reports ``V3x4``, not a stale ``V3x8``); a custom
+        name is preserved as-is.
+        """
+        name = "" if self.name == self.default_name else self.name
+        return replace(self, depth=depth, name=name)
 
     def describe(self) -> str:
         """Human-readable one-liner used by the CLI and reports."""

@@ -1,10 +1,15 @@
 """Scheduling: mapping kernel DFGs onto linear TM overlays.
 
+* :mod:`repro.schedule.registry` — the scheduler-strategy registry
+  (``auto``/``linear``/``clustered``/``modulo``, plus user-registered
+  strategies) behind :func:`schedule_kernel`'s ``scheduler`` knob.
 * :mod:`repro.schedule.asap` / :mod:`repro.schedule.alap` — levelization.
 * :mod:`repro.schedule.linear` — ASAP mapping for critical-path-depth
   overlays ([14]/V1/V2) and for shallow kernels on fixed-depth overlays.
 * :mod:`repro.schedule.greedy` — iterative greedy cluster scheduling for
   fixed-depth write-back overlays (V3-V5).
+* :mod:`repro.schedule.modulo` — iterative modulo scheduling: the analytic
+  CGRA comparison *and* the executable ``modulo`` strategy.
 * :mod:`repro.schedule.ordering` — IWP-aware intra-cluster ordering with NOP
   insertion.
 * :mod:`repro.schedule.ii` — the analytic initiation-interval models
@@ -35,8 +40,21 @@ from .modulo import (
     compare_with_overlay_ii,
     minimum_ii,
     modulo_schedule,
+    modulo_stage_assignment,
     recurrence_minimum_ii,
     resource_minimum_ii,
+    schedule_modulo,
+)
+from .registry import (
+    DEFAULT_SCHEDULER,
+    Scheduler,
+    SchedulerStrategy,
+    get_scheduler,
+    register_scheduler,
+    schedule_with,
+    scheduler_names,
+    scheduler_strategies,
+    unregister_scheduler,
 )
 from .ii import (
     analytic_ii,
@@ -50,17 +68,19 @@ from .ii import (
 )
 
 
-def schedule_kernel(dfg, overlay):
-    """Schedule a kernel with the policy appropriate for the overlay.
+def schedule_kernel(dfg, overlay, scheduler: str = DEFAULT_SCHEDULER):
+    """Schedule a kernel with a registered scheduling strategy.
 
-    Fixed-depth overlays use the greedy cluster scheduler (falling back to
-    ASAP when the kernel is shallow enough); critical-path-depth overlays use
-    ASAP scheduling.  This is the single entry point the rest of the library
-    (metrics, CLI, benches) uses.
+    The default ``"auto"`` strategy preserves the historical policy dispatch
+    bit-identically: fixed-depth overlays use the greedy cluster scheduler
+    (falling back to ASAP when the kernel is shallow enough),
+    critical-path-depth overlays use ASAP scheduling.  Any other registered
+    strategy name (``"linear"``, ``"clustered"``, ``"modulo"``, or a
+    user-registered one — see :mod:`repro.schedule.registry`) selects that
+    strategy instead.  This is the single entry point the rest of the
+    library (cache, metrics, CLI, benches) uses.
     """
-    if overlay.fixed_depth:
-        return schedule_fixed_depth(dfg, overlay)
-    return schedule_linear(dfg, overlay)
+    return schedule_with(scheduler, dfg, overlay)
 
 
 __all__ = [
@@ -98,8 +118,19 @@ __all__ = [
     "minimum_ii_bound",
     "ModuloSchedule",
     "modulo_schedule",
+    "modulo_stage_assignment",
+    "schedule_modulo",
     "minimum_ii",
     "resource_minimum_ii",
     "recurrence_minimum_ii",
     "compare_with_overlay_ii",
+    "DEFAULT_SCHEDULER",
+    "Scheduler",
+    "SchedulerStrategy",
+    "register_scheduler",
+    "unregister_scheduler",
+    "get_scheduler",
+    "schedule_with",
+    "scheduler_names",
+    "scheduler_strategies",
 ]

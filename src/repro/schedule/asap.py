@@ -10,22 +10,23 @@ FU designs get away without an internal forwarding path.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..dfg.analysis import asap_levels, asap_stage_assignment, dfg_depth
 from ..dfg.graph import DFG
 from ..errors import InfeasibleScheduleError
 
 
-def asap_assignment(dfg: DFG, num_stages: int = 0) -> Dict[int, int]:
+def asap_assignment(dfg: DFG, num_stages: Optional[int] = None) -> Dict[int, int]:
     """Map every operation to its ASAP stage (level - 1).
 
-    ``num_stages`` only validates feasibility: if given (> 0) and smaller than
-    the DFG depth, the kernel cannot be mapped with ASAP scheduling onto that
+    ``num_stages`` only validates feasibility: if given and smaller than the
+    DFG depth, the kernel cannot be mapped with ASAP scheduling onto that
     many feed-forward stages and :class:`InfeasibleScheduleError` is raised.
+    ``None`` (the default) skips the check — there is no ``0`` sentinel.
     """
     depth = dfg_depth(dfg)
-    if num_stages and depth > num_stages:
+    if num_stages is not None and depth > num_stages:
         raise InfeasibleScheduleError(
             f"kernel {dfg.name!r} has depth {depth} but the overlay only has "
             f"{num_stages} stages; use a write-back (fixed-depth) overlay or a "

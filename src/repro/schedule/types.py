@@ -170,7 +170,18 @@ class StageSchedule:
 
 @dataclass
 class OverlaySchedule:
-    """A complete mapping of one kernel onto one overlay."""
+    """A complete mapping of one kernel onto one overlay.
+
+    ``scheduler`` records the *algorithm* that produced the schedule
+    (``"asap"``, ``"greedy"`` or ``"modulo"``) — not the registry strategy
+    name it was requested through.  The two differ deliberately: the
+    ``auto`` and ``clustered`` strategies both report ``"asap"`` when the
+    shallow-kernel fallback ran and ``"greedy"`` when real clustering did,
+    which is information the strategy name alone cannot carry.  The
+    requested strategy lives on the spec/result side
+    (:attr:`repro.specs.OverlaySpec.scheduler`,
+    :attr:`repro.engine.sweep.SweepResult.scheduler`).
+    """
 
     dfg: DFG
     overlay: LinearOverlay

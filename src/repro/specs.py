@@ -62,16 +62,26 @@ class OverlaySpec:
         critical-path-sized ones).
     fifo_depth:
         Entries in each distributed-RAM FIFO channel.
+    scheduler:
+        Scheduling-strategy name from :mod:`repro.schedule.registry`
+        (``"auto"``, ``"linear"``, ``"clustered"``, ``"modulo"``, or a
+        user-registered strategy).  The default ``"auto"`` preserves the
+        historical policy dispatch bit-identically.
     """
 
     variant: str = "v1"
     depth: Optional[int] = None
     fixed: Optional[bool] = None
     fifo_depth: int = 32
+    scheduler: str = "auto"
 
     def __post_init__(self) -> None:
         fu = get_variant(self.variant)
         object.__setattr__(self, "variant", fu.name)
+        # Imported lazily: the strategy registry lives with the schedulers.
+        from .schedule.registry import get_scheduler
+
+        get_scheduler(self.scheduler)  # unknown names fail loudly here
         if self.depth is not None:
             if not isinstance(self.depth, int) or isinstance(self.depth, bool):
                 raise ConfigurationError(
@@ -132,6 +142,17 @@ class OverlaySpec:
             depth=overlay.depth,
             fixed=overlay.fixed_depth,
             fifo_depth=self.fifo_depth,
+            scheduler=self.scheduler,
+        )
+
+    def with_scheduler(self, scheduler: str) -> "OverlaySpec":
+        """A copy of this spec selecting a different scheduling strategy."""
+        return OverlaySpec(
+            variant=self.variant,
+            depth=self.depth,
+            fixed=self.fixed,
+            fifo_depth=self.fifo_depth,
+            scheduler=scheduler,
         )
 
     # ------------------------------------------------------------------
@@ -141,6 +162,7 @@ class OverlaySpec:
             "depth": self.depth,
             "fixed": self.fixed,
             "fifo_depth": self.fifo_depth,
+            "scheduler": self.scheduler,
         }
 
     @classmethod
@@ -227,17 +249,24 @@ class SimSpec:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A (kernels x overlays) grid with one shared simulation policy.
+    """A (kernels x overlays [x schedulers]) grid with one shared sim policy.
 
     The grid is the cross product ``kernels x overlays`` in that order
     (kernel-major), matching the historical ``build_grid`` ordering.
     ``sim=None`` resolves to the sweep default, ``SimSpec(engine="fast")``.
+
+    ``schedulers`` adds a third axis: when given, every overlay spec is
+    re-keyed with each named scheduling strategy (overlay-major, scheduler
+    innermost), so one spec can compare e.g. ``clustered`` against
+    ``modulo`` across the whole kernel library.  ``schedulers=None`` (the
+    default) keeps each overlay spec's own ``scheduler`` field.
     """
 
     kernels: Tuple[str, ...]
     overlays: Tuple[OverlaySpec, ...]
     sim: Optional[SimSpec] = None
     jobs: Optional[int] = None
+    schedulers: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.sim is None:
@@ -253,12 +282,34 @@ class SweepSpec:
             raise ConfigurationError("a sweep spec needs at least one overlay spec")
         object.__setattr__(self, "kernels", kernels)
         object.__setattr__(self, "overlays", overlays)
+        if self.schedulers is not None:
+            schedulers = tuple(self.schedulers)
+            if not schedulers:
+                raise ConfigurationError(
+                    "schedulers must name at least one strategy (or be None "
+                    "to keep each overlay spec's own scheduler)"
+                )
+            from .schedule.registry import get_scheduler
+
+            for name in schedulers:
+                get_scheduler(name)  # unknown strategies fail at spec time
+            object.__setattr__(self, "schedulers", schedulers)
         if self.jobs is not None and self.jobs < 1:
             raise ConfigurationError("jobs must be at least 1 (or None for auto)")
 
     # ------------------------------------------------------------------
+    def grid_overlays(self) -> Tuple[OverlaySpec, ...]:
+        """The overlay axis with the scheduler axis expanded into it."""
+        if self.schedulers is None:
+            return self.overlays
+        return tuple(
+            overlay.with_scheduler(scheduler)
+            for overlay in self.overlays
+            for scheduler in self.schedulers
+        )
+
     def __len__(self) -> int:
-        return len(self.kernels) * len(self.overlays)
+        return len(self.kernels) * len(self.grid_overlays())
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -266,6 +317,7 @@ class SweepSpec:
             "overlays": [spec.to_dict() for spec in self.overlays],
             "sim": self.sim.to_dict(),
             "jobs": self.jobs,
+            "schedulers": list(self.schedulers) if self.schedulers else None,
         }
 
     @classmethod
@@ -280,6 +332,8 @@ class SweepSpec:
             data["kernels"] = tuple(data["kernels"])
         if isinstance(data.get("sim"), dict):
             data["sim"] = SimSpec.from_dict(data["sim"])
+        if data.get("schedulers") is not None:
+            data["schedulers"] = tuple(data["schedulers"])
         return cls(**data)
 
     def to_json(self) -> str:

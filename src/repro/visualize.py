@@ -69,7 +69,10 @@ def ascii_overlay(depth: int, variant_label: str = "FU", width: int = 14) -> str
 def schedule_listing(schedule: OverlaySchedule) -> str:
     """Per-FU listing of a schedule: loads, then instruction slots."""
     dfg = schedule.dfg
-    lines = [f"schedule of {schedule.kernel_name!r} on {schedule.overlay.name}"]
+    lines = [
+        f"schedule of {schedule.kernel_name!r} on {schedule.overlay.name} "
+        f"({schedule.scheduler} scheduling)"
+    ]
     for stage in schedule.stages:
         lines.append(f"FU{stage.stage}:")
         names = ", ".join(dfg.node(v).name for v in stage.load_order)
