@@ -336,19 +336,28 @@ class Toolchain:
     # ------------------------------------------------------------------
     # sweep / runtime
     # ------------------------------------------------------------------
-    def sweep(self, spec: SweepSpec) -> List["SweepResult"]:
+    def sweep(self, spec: SweepSpec, progress=None) -> List["SweepResult"]:
         """Run a (kernels x overlays) grid through this session.
 
         Serial execution (``jobs=1`` or a single point) uses this session's
         injected cache; parallel execution fans out over worker processes,
         each warming its own process-wide cache (share compilations across
         workers via the ``REPRO_CACHE_DIR`` disk layer).
+
+        The grid runs on the fault-tolerant runner: the spec's ``retries``
+        / ``timeout_s`` bound each point's fault budget (exhausted points
+        come back as quarantined error rows, never a lost grid), its
+        ``store_dir`` / ``resume`` make the sweep incremental through a
+        persistent :class:`~repro.engine.store.ResultStore`, and
+        ``progress`` (a callable taking one
+        :class:`~repro.engine.sweep.SweepProgress`) streams each row the
+        moment it settles.  See ``docs/sweeps.md``.
         """
         from .engine.sweep import run_sweep_spec
 
         if not isinstance(spec, SweepSpec):
             raise ConfigurationError("sweep() takes a repro.specs.SweepSpec")
-        return run_sweep_spec(spec, cache=self.cache)
+        return run_sweep_spec(spec, cache=self.cache, progress=progress)
 
     def runtime(
         self,

@@ -10,6 +10,8 @@
     repro-overlay map --source my_kernel.c --variant v2   # your own mini-C file
     repro-overlay simulate --kernel qspline --variant v3 --depth 8 --blocks 16
     repro-overlay sweep --kernels all --variants v1,v2 --blocks 64 --json
+    repro-overlay sweep --kernels all --variants all --store runs/grid \
+                        --progress --output rows.json   # incremental + resumable
     repro-overlay table3                          # regenerate Table III
     repro-overlay scalability --variant v1        # Fig. 5 data series
     repro-overlay dot --kernel qspline            # DFG in Graphviz DOT
@@ -315,6 +317,7 @@ def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         schedulers = tuple(
             _parse_name_list(args.schedulers, scheduler_names(), "scheduler")
         )
+    retries = 0 if getattr(args, "no_retry", False) else getattr(args, "retries", 2)
     return SweepSpec(
         kernels=tuple(kernels),
         overlays=tuple(
@@ -325,18 +328,59 @@ def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
         sim=sim_spec_from_args(args),
         jobs=args.jobs,
         schedulers=schedulers,
+        retries=retries,
+        timeout_s=getattr(args, "timeout", None),
+        store_dir=getattr(args, "store", None),
+        resume=getattr(args, "resume", True),
     )
+
+
+def _write_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via temp-file + rename (never half a file)."""
+    import os
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .engine.sweep import render_sweep_table, results_to_json
 
-    results = default_toolchain().sweep(sweep_spec_from_args(args))
+    def progress(event) -> None:
+        r = event.result
+        status = "cached" if event.cached else (
+            "quarantined" if r.quarantined else ("infeasible" if r.error else "ok")
+        )
+        print(
+            f"[{event.completed}/{event.total}] {r.kernel} {r.overlay_name} "
+            f"{status}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    results = default_toolchain().sweep(
+        sweep_spec_from_args(args), progress=progress if args.progress else None
+    )
+    payload = results_to_json(results)
+    if getattr(args, "output", None):
+        _write_atomic(args.output, payload + "\n")
     if args.json:
-        print(results_to_json(results))
+        print(payload)
     else:
         print(render_sweep_table(results))
-    failures = [r for r in results if r.matches_reference is False]
+    failures = [r for r in results if r.matches_reference is False or r.quarantined]
     return 1 if failures else 0
 
 
@@ -488,6 +532,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, help="worker processes (default: CPU count)"
     )
     p_sweep.add_argument("--json", action="store_true", help="emit JSON rows")
+    p_sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persist each point's result in DIR (content-keyed; makes the "
+        "grid incremental and a killed run resumable — see docs/sweeps.md)",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --store, reuse stored results instead of re-running "
+        "(--no-resume re-measures everything but still refreshes the store)",
+    )
+    p_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-point retry budget before a faulting point is quarantined "
+        "as an error row (default: 2)",
+    )
+    p_sweep.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="shorthand for --retries 0 (fail each faulting point immediately)",
+    )
+    p_sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point wall-clock budget in seconds; a stalled point is "
+        "killed, retried, and eventually quarantined (default: none)",
+    )
+    p_sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream one '[k/N] kernel overlay status' line per finished "
+        "point to stderr",
+    )
+    p_sweep.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON rows to FILE (atomic temp+rename write)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_eval = sub.add_parser("evaluate", help="evaluate a kernel on every overlay variant")

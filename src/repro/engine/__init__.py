@@ -16,8 +16,16 @@ sweeps:
   Together with :mod:`repro.frontend.cache` it forms the end-to-end compile
   cache (source → AST → DFG → schedule → binary); see ``docs/compiler.md``.
 * :mod:`repro.engine.sweep` — a (kernels x overlays x variants) grid runner
-  that fans points out over a process pool and powers the ``repro-overlay
+  that fans points out over a process pool fault-tolerantly (per-point
+  retry/quarantine, pool re-creation after a worker death, per-point
+  timeouts, streamed partial results) and powers the ``repro-overlay
   sweep`` CLI subcommand and the benchmark harnesses.
+* :mod:`repro.engine.store` — a content-keyed persistent sweep result store
+  (one atomic JSON entry per point, keyed by the kernel's DFG hash plus the
+  resolved specs) that makes grids incremental and killed runs resumable.
+* :mod:`repro.engine.faults` — a deterministic fault-injection harness
+  (worker crash / raise / stall on chosen points) that the robustness test
+  suite uses to prove every degradation path; see ``docs/sweeps.md``.
 """
 
 from .cache import CacheKey, CompiledKernel, ScheduleCache, default_cache, dfg_content_hash
@@ -28,8 +36,10 @@ from .fastsim import (
     steady_state_warmup_bound,
     warmup_bound_blocks,
 )
+from .store import ResultStore
 from .sweep import (
     SweepPoint,
+    SweepProgress,
     SweepResult,
     build_grid,
     run_point,
@@ -48,7 +58,9 @@ __all__ = [
     "simulate_fast",
     "steady_state_warmup_bound",
     "warmup_bound_blocks",
+    "ResultStore",
     "SweepPoint",
+    "SweepProgress",
     "SweepResult",
     "build_grid",
     "run_point",

@@ -164,6 +164,7 @@ def evaluate_kernel(
     fixed_depth: Optional[int] = None,
     simulate: bool = False,
     num_blocks: int = 12,
+    cache=None,
 ) -> PerformanceResult:
     """Map one kernel onto one overlay variant and evaluate it.
 
@@ -175,11 +176,16 @@ def evaluate_kernel(
     warm path of :func:`repro.map_kernel` — schedule and analyse exactly
     once.
 
+    ``cache`` (a session-injected
+    :class:`~repro.engine.cache.ScheduleCache`) compiles through that cache
+    instead of the process-wide default session, so an isolated
+    :class:`~repro.api.Toolchain` never leaks compilations here.
+
     ``fixed_depth`` on a non-write-back variant is now honored (the overlay
     is built with that depth) instead of being silently ignored; that case
     emits a :class:`DeprecationWarning`.
     """
-    from ..api import default_toolchain
+    from ..api import Toolchain, default_toolchain
     from ..specs import OverlaySpec, SimSpec
 
     if _depth_override_changed(variant, fixed_depth):
@@ -192,7 +198,8 @@ def evaluate_kernel(
             stacklevel=2,
         )
     sim = SimSpec(num_blocks=num_blocks) if simulate else None
-    return default_toolchain().evaluate(
+    toolchain = default_toolchain() if cache is None else Toolchain(cache=cache)
+    return toolchain.evaluate(
         dfg, OverlaySpec(variant=variant, depth=fixed_depth), sim=sim
     )
 
@@ -206,11 +213,17 @@ def evaluate_kernel_all_overlays(
     variants: Sequence[str] = EVALUATION_VARIANTS,
     fixed_depth: Optional[int] = None,
     simulate: bool = False,
+    cache=None,
 ) -> Dict[str, PerformanceResult]:
-    """Evaluate one kernel on every overlay variant of the paper's comparison."""
+    """Evaluate one kernel on every overlay variant of the paper's comparison.
+
+    ``cache`` (a session-injected schedule cache) scopes the compilations to
+    that cache instead of the process-wide default session; see
+    :func:`evaluate_kernel`.
+    """
     return {
         str(variant): evaluate_kernel(
-            dfg, variant, fixed_depth=fixed_depth, simulate=simulate
+            dfg, variant, fixed_depth=fixed_depth, simulate=simulate, cache=cache
         )
         for variant in variants
     }

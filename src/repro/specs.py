@@ -260,6 +260,23 @@ class SweepSpec:
     innermost), so one spec can compare e.g. ``clustered`` against
     ``modulo`` across the whole kernel library.  ``schedulers=None`` (the
     default) keeps each overlay spec's own ``scheduler`` field.
+
+    Robustness knobs (consumed by the fault-tolerant runner of
+    :func:`repro.engine.sweep.run_sweep`):
+
+    * ``retries`` — per-point retry budget for faulted attempts (worker
+      death, raised exception, timeout); past it the point is reported as a
+      quarantined error row instead of aborting the grid.  ``0`` disables
+      retrying (faults quarantine immediately);
+    * ``timeout_s`` — per-point wall-clock limit; a stalled worker is
+      killed and the point charged one retry.  ``None`` means unlimited;
+    * ``store_dir`` — root of a persistent
+      :class:`~repro.engine.store.ResultStore`: computed rows persist
+      atomically as they settle and (with ``resume``, the default) points
+      whose content key already has an entry are served from disk, so
+      re-running a grid only simulates what is new and a killed run
+      resumes where it died.  ``resume=False`` remeasures everything while
+      still persisting fresh rows.
     """
 
     kernels: Tuple[str, ...]
@@ -267,6 +284,10 @@ class SweepSpec:
     sim: Optional[SimSpec] = None
     jobs: Optional[int] = None
     schedulers: Optional[Tuple[str, ...]] = None
+    retries: int = 2
+    timeout_s: Optional[float] = None
+    store_dir: Optional[str] = None
+    resume: bool = True
 
     def __post_init__(self) -> None:
         if self.sim is None:
@@ -296,6 +317,14 @@ class SweepSpec:
             object.__setattr__(self, "schedulers", schedulers)
         if self.jobs is not None and self.jobs < 1:
             raise ConfigurationError("jobs must be at least 1 (or None for auto)")
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool) or self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be a non-negative integer, got {self.retries!r}"
+            )
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive (or None for unlimited), got {self.timeout_s!r}"
+            )
 
     # ------------------------------------------------------------------
     def grid_overlays(self) -> Tuple[OverlaySpec, ...]:
@@ -318,6 +347,10 @@ class SweepSpec:
             "sim": self.sim.to_dict(),
             "jobs": self.jobs,
             "schedulers": list(self.schedulers) if self.schedulers else None,
+            "retries": self.retries,
+            "timeout_s": self.timeout_s,
+            "store_dir": self.store_dir,
+            "resume": self.resume,
         }
 
     @classmethod

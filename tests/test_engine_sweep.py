@@ -97,6 +97,20 @@ class TestEvaluateMany:
                     direct[label].throughput_gops
                 )
 
+    def test_injected_cache_scopes_the_compilations(self):
+        # A session-injected cache must receive the compilations (and the
+        # process-wide default cache must not silently absorb them).
+        from repro.engine.cache import ScheduleCache, default_cache
+
+        cache = ScheduleCache()
+        default_misses = default_cache().stats.misses
+        results = evaluate_many(
+            ["gradient"], variants=("v1", "v2"), jobs=1, cache=cache
+        )
+        assert set(results["gradient"]) == {"v1", "v2"}
+        assert cache.stats.misses == 2  # both compilations landed here
+        assert default_cache().stats.misses == default_misses
+
 
 class TestSweepCLI:
     def test_sweep_json_smoke(self, capsys):
@@ -143,6 +157,59 @@ class TestSweepCLI:
         )
         assert exit_code == 0
         assert "II=6.00" in capsys.readouterr().out
+
+    def test_sweep_store_progress_and_output(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        output = str(tmp_path / "rows.json")
+        argv = [
+            "sweep", "--kernels", "gradient", "--variants", "v1", "--blocks", "8",
+            "--jobs", "1", "--store", store_dir, "--progress", "--output", output,
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[1/1] gradient V1x4 ok" in captured.err
+        rows = json.loads(open(output).read())
+        assert rows[0]["kernel"] == "gradient"
+        # Second run resumes from the store and says so.
+        assert main(argv) == 0
+        assert "[1/1] gradient V1x4 cached" in capsys.readouterr().err
+
+    def test_sweep_retry_and_timeout_flags_parse(self, capsys, tmp_path):
+        from repro.cli import sweep_spec_from_args
+
+        argv = [
+            "sweep", "--kernels", "gradient", "--variants", "v1", "--jobs", "1",
+            "--retries", "5", "--timeout", "30", "--store", str(tmp_path),
+            "--no-resume",
+        ]
+        assert main(argv) == 0
+        # The flags land on the spec (parsed the same way _cmd_sweep does).
+        import argparse
+
+        parser_args = argparse.Namespace(
+            kernels="gradient", variants="v1", depths="", schedulers="",
+            blocks=12, seed=0, engine="fast", detector="occupancy",
+            no_verify=False, jobs=1, retries=5, timeout=30.0,
+            store=str(tmp_path), resume=False, no_retry=False,
+        )
+        spec = sweep_spec_from_args(parser_args)
+        assert spec.retries == 5
+        assert spec.timeout_s == 30.0
+        assert spec.store_dir == str(tmp_path)
+        assert spec.resume is False
+
+    def test_sweep_no_retry_flag_forces_zero_retries(self, tmp_path):
+        import argparse
+
+        from repro.cli import sweep_spec_from_args
+
+        parser_args = argparse.Namespace(
+            kernels="gradient", variants="v1", depths="", schedulers="",
+            blocks=12, seed=0, engine="fast", detector="occupancy",
+            no_verify=False, jobs=1, retries=4, timeout=None,
+            store=None, resume=True, no_retry=True,
+        )
+        assert sweep_spec_from_args(parser_args).retries == 0
 
 
 class TestRendering:

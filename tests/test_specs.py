@@ -159,3 +159,39 @@ class TestSweepSpec:
             kernels=("gradient",), overlays=({"variant": "v1", "depth": 4},)
         )
         assert spec.overlays[0] == OverlaySpec("v1", depth=4)
+
+    def test_robustness_knob_defaults(self):
+        spec = self._spec()
+        assert spec.retries == 2
+        assert spec.timeout_s is None
+        assert spec.store_dir is None
+        assert spec.resume is True
+
+    def test_robustness_knobs_round_trip(self):
+        spec = self._spec(retries=0, timeout_s=12.5, store_dir="/tmp/s", resume=False)
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        parsed = json.loads(spec.to_json())
+        assert parsed["retries"] == 0
+        assert parsed["timeout_s"] == 12.5
+        assert parsed["store_dir"] == "/tmp/s"
+        assert parsed["resume"] is False
+
+    def test_pre_robustness_json_still_loads(self):
+        # Spec JSON written before the retry/store fields existed must keep
+        # loading with the defaults.
+        old = self._spec().to_dict()
+        for key in ("retries", "timeout_s", "store_dir", "resume"):
+            del old[key]
+        assert SweepSpec.from_dict(old) == self._spec()
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(retries=-1)
+        with pytest.raises(ConfigurationError):
+            self._spec(retries=True)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            self._spec(timeout_s=-5.0)
