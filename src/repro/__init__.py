@@ -19,6 +19,8 @@ The package implements the paper's complete system in pure Python:
   (:mod:`repro.sim`),
 * the **metrics and baselines** used to regenerate every table and figure of
   the paper's evaluation (:mod:`repro.metrics`, :mod:`repro.baseline`),
+  including the pluggable performance-model family and the scheduler
+  auto-tuner built on it (:mod:`repro.metrics.models`, :mod:`repro.tune`),
 * the **session API** — the :class:`~repro.api.Toolchain` facade and the
   typed spec objects of :mod:`repro.specs`, the one front door every other
   entry point (CLI, runtime manager, sweeps, compatibility shims) adapts to.
@@ -52,6 +54,13 @@ from .engine import (
 from .errors import ReproError
 from .frontend import parse_c_kernel, trace_kernel
 from .kernels import all_benchmarks, get_kernel, kernel_names
+from .metrics.models import (
+    ModelPrediction,
+    PerformanceModel,
+    get_model,
+    model_names,
+    register_model,
+)
 from .metrics.performance import PerformanceResult, evaluate_kernel
 from .overlay import FU_VARIANTS, LinearOverlay, get_variant
 from .program.codegen import OverlayProgram, generate_program
@@ -66,7 +75,14 @@ from .schedule import (
     scheduler_names,
 )
 from .sim import SimulationResult, simulate_schedule
-from .specs import OverlaySpec, SimSpec, SweepSpec
+from .specs import (
+    OverlaySpec,
+    SimSpec,
+    SweepSpec,
+    TuneCandidate,
+    TuneResult,
+    TuneSpec,
+)
 from .api import (
     CompiledHandle,
     MappingResult,
@@ -74,6 +90,7 @@ from .api import (
     default_toolchain,
     map_kernel,
 )
+from .tune import enumerate_candidates, tune
 from .runtime import OverlayRuntime, RuntimeManager
 
 __all__ = [
@@ -105,9 +122,19 @@ __all__ = [
     "simulate_schedule",
     "PerformanceResult",
     "evaluate_kernel",
+    "PerformanceModel",
+    "ModelPrediction",
+    "register_model",
+    "get_model",
+    "model_names",
     "OverlaySpec",
     "SimSpec",
     "SweepSpec",
+    "TuneSpec",
+    "TuneCandidate",
+    "TuneResult",
+    "tune",
+    "enumerate_candidates",
     "Toolchain",
     "CompiledHandle",
     "default_toolchain",

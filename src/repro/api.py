@@ -38,6 +38,7 @@ from .dfg.serialize import dfg_fingerprint
 from .engine.cache import CacheKey, CompiledKernel, ScheduleCache, default_cache
 from .errors import CodegenError, ConfigurationError
 from .kernels.library import get_kernel
+from .metrics.models import ModelPrediction, PerformanceModel, resolve_model
 from .metrics.performance import PerformanceResult, analytic_performance
 from .overlay.architecture import LinearOverlay
 from .program.binary import ConfigurationImage
@@ -99,6 +100,10 @@ class Toolchain:
             OrderedDict()
         )
         self._analytic: "OrderedDict[CacheKey, PerformanceResult]" = OrderedDict()
+        #: (cache key, model cache token, sim spec) -> ModelPrediction.  The
+        #: model's *cache token* (not just its name) is part of the key, so a
+        #: calibrated model's fitted state never serves stale predictions.
+        self._predictions: "OrderedDict[Tuple, ModelPrediction]" = OrderedDict()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -319,6 +324,53 @@ class Toolchain:
             _merge_measured(result, self.simulate(handle, sim))
         return result
 
+    def predict(
+        self,
+        handle: Union[CompiledHandle, str, DFG],
+        overlay: Optional[OverlaySpec] = None,
+        sim: Optional[SimSpec] = None,
+        model: Union[str, PerformanceModel] = "analytic",
+    ) -> ModelPrediction:
+        """Model-predicted performance of a compiled kernel (no simulation).
+
+        Runs the named :class:`~repro.metrics.models.PerformanceModel`
+        (registry name or instance) over the compiled schedule and memoises
+        the prediction on ``(artifact key, model cache token, sim)`` — so
+        two models never collide, and a calibrated model re-fitted from new
+        measurements never serves its pre-fit predictions.  This is the
+        microseconds-per-config triage path :meth:`tune` ranks candidates
+        with; ``sim`` only supplies the stream length the cycle estimate is
+        for.
+        """
+        if not isinstance(handle, CompiledHandle):
+            handle = self.compile(
+                handle, overlay or OverlaySpec(), allow_schedule_only=True
+            )
+        elif overlay is not None:
+            raise ConfigurationError(
+                "pass an overlay spec only when predicting a kernel, not a handle"
+            )
+        resolved_model = resolve_model(model)
+        pkey = (handle.key, resolved_model.cache_token, sim)
+        with self._lock:
+            pred = self._predictions.get(pkey)
+            if pred is not None:
+                self._predictions.move_to_end(pkey)
+                return pred
+        pred = resolved_model.predict(
+            handle.dfg,
+            handle.overlay,
+            handle.schedule,
+            sim=sim,
+            scheduler=handle.spec.scheduler,
+        )
+        with self._lock:
+            self._predictions[pkey] = pred
+            self._predictions.move_to_end(pkey)
+            while len(self._predictions) > 4 * self.cache.capacity:
+                self._predictions.popitem(last=False)
+        return pred
+
     def simulate(
         self, handle: CompiledHandle, sim: SimSpec = SimSpec()
     ) -> SimulationResult:
@@ -358,6 +410,48 @@ class Toolchain:
         if not isinstance(spec, SweepSpec):
             raise ConfigurationError("sweep() takes a repro.specs.SweepSpec")
         return run_sweep_spec(spec, cache=self.cache, progress=progress)
+
+    def tune(
+        self,
+        kernel: Optional[str] = None,
+        spec: Optional["TuneSpec"] = None,
+        progress=None,
+        **knobs,
+    ) -> "TuneResult":
+        """Auto-tune one kernel's overlay/scheduler configuration.
+
+        Enumerates the candidate cross product of a
+        :class:`~repro.specs.TuneSpec`, ranks every feasible candidate with
+        the spec's performance model (through :meth:`predict`, so triage is
+        microseconds per config and scoped to this session's cache), then
+        simulates only the top-``budget`` frontier through the sweep runner
+        — riding its retry/quarantine machinery and, when the spec names a
+        ``store_dir``, its persistent result store (repeat tunes re-simulate
+        nothing).  Returns a :class:`~repro.specs.TuneResult`.
+
+        Call it either with a ready spec (``tune(spec=...)``) or with a
+        kernel name plus :class:`~repro.specs.TuneSpec` fields as keyword
+        arguments::
+
+            tc.tune("gradient", objective="ii", budget=4, model="analytic")
+        """
+        from .specs import TuneSpec
+        from .tune import tune as run_tune
+
+        if spec is None:
+            if kernel is None:
+                raise ConfigurationError(
+                    "tune() needs a kernel name or a TuneSpec"
+                )
+            spec = TuneSpec(kernel=kernel, **knobs)
+        else:
+            if not isinstance(spec, TuneSpec):
+                raise ConfigurationError("tune() takes a repro.specs.TuneSpec")
+            if kernel is not None or knobs:
+                raise ConfigurationError(
+                    "pass either a TuneSpec or kernel+knobs, not both"
+                )
+        return run_tune(spec, toolchain=self, progress=progress)
 
     def runtime(
         self,

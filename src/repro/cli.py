@@ -5,6 +5,9 @@
     repro-overlay kernels [--json]                # list benchmark kernels
     repro-overlay variants [--json]               # list FU variants (Table I)
     repro-overlay schedulers [--json]             # list scheduling strategies
+    repro-overlay models [--json]                 # list performance models
+    repro-overlay tune --kernel qspline --objective ii --budget 8
+    repro-overlay tune --kernel poly7 --model calibrated --store runs/tune
     repro-overlay map --kernel qspline --variant v3 --scheduler modulo
     repro-overlay map --kernel gradient --variant v1
     repro-overlay map --source my_kernel.c --variant v2   # your own mini-C file
@@ -335,6 +338,51 @@ def sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
     )
 
 
+def tune_spec_from_args(args: argparse.Namespace) -> "TuneSpec":
+    """The :class:`~repro.specs.TuneSpec` a ``tune`` invocation describes."""
+    from .schedule.registry import scheduler_names
+    from .specs import TuneSpec
+
+    variants = _parse_name_list(args.variants, list(FU_VARIANTS), "variant")
+    depths: List[Optional[int]] = [None]
+    if args.depths:
+        try:
+            # A 0 entry keeps meaning auto sizing for shell compatibility.
+            depths = [int(d) or None for d in args.depths.split(",")]
+        except ValueError:
+            raise ReproError(
+                f"--depths must be a comma-separated list of integers, got {args.depths!r}"
+            )
+    fifo_depths = [32]
+    if args.fifo_depths:
+        try:
+            fifo_depths = [int(d) for d in args.fifo_depths.split(",")]
+        except ValueError:
+            raise ReproError(
+                "--fifo-depths must be a comma-separated list of integers, "
+                f"got {args.fifo_depths!r}"
+            )
+    schedulers = None
+    if getattr(args, "schedulers", None):
+        schedulers = tuple(
+            _parse_name_list(args.schedulers, scheduler_names(), "scheduler")
+        )
+    return TuneSpec(
+        kernel=args.kernel,
+        variants=tuple(variants),
+        depths=tuple(depths),
+        fifo_depths=tuple(fifo_depths),
+        schedulers=schedulers,
+        model=args.model,
+        objective=args.objective,
+        budget=args.budget,
+        sim=sim_spec_from_args(args),
+        jobs=args.jobs,
+        store_dir=getattr(args, "store", None),
+        resume=getattr(args, "resume", True),
+    )
+
+
 def _write_atomic(path: str, text: str) -> None:
     """Write ``text`` to ``path`` via temp-file + rename (never half a file)."""
     import os
@@ -382,6 +430,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(render_sweep_table(results))
     failures = [r for r in results if r.matches_reference is False or r.quarantined]
     return 1 if failures else 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    def progress(event) -> None:
+        r = event.result
+        status = "cached" if event.cached else (
+            "quarantined" if r.quarantined else ("infeasible" if r.error else "ok")
+        )
+        print(
+            f"[{event.completed}/{event.total}] {r.kernel} {r.overlay_name} "
+            f"{status}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    spec = tune_spec_from_args(args)
+    result = default_toolchain().tune(
+        spec=spec, progress=progress if args.progress else None
+    )
+    if args.json:
+        print(result.to_json())
+    else:
+        fmt = "{:>4}  {:<9} {:>5} {:>4}  {:<9} {:>8} {:>8} {:>8} {:>8}  {}"
+        print(fmt.format(
+            "rank", "variant", "depth", "fifo", "scheduler",
+            "pred II", "meas II", "GOPS", "II err", "status",
+        ))
+        for candidate in result.candidates:
+            overlay = candidate.overlay
+            if candidate.error is not None:
+                status = "infeasible" if not candidate.simulated else "error"
+            elif candidate.simulated:
+                status = "chosen" if candidate is result.best else "measured"
+            else:
+                status = "triaged"
+            num = lambda v, p=2: "-" if v is None else format(v, f".{p}f")
+            print(fmt.format(
+                candidate.rank,
+                overlay.variant,
+                "auto" if overlay.depth is None else overlay.depth,
+                overlay.fifo_depth,
+                overlay.scheduler,
+                num(candidate.predicted_ii),
+                num(candidate.measured_ii),
+                num(candidate.measured_gops, 3),
+                num(candidate.ii_error, 3),
+                status,
+            ))
+        best = result.best
+        if best is not None:
+            measured = (
+                f" (measured II {best.measured_ii:.2f})"
+                if best.measured_ii is not None
+                else " (by model prediction only)"
+            )
+            print(
+                f"\nchosen: {spec.kernel} on {best.overlay.variant} "
+                f"depth={'auto' if best.overlay.depth is None else best.overlay.depth} "
+                f"fifo={best.overlay.fifo_depth} "
+                f"scheduler={best.overlay.scheduler}{measured}"
+            )
+        else:
+            print("\nno feasible configuration found")
+        print(
+            f"[{result.num_feasible} feasible / {len(result)} candidates, "
+            f"{result.num_simulated} simulated with --budget {spec.budget}, "
+            f"model {spec.model!r}, objective {spec.objective!r}]"
+        )
+    return 0 if result.best is not None else 1
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from .metrics.models import model_entries
+
+    rows = [entry.as_row() for entry in model_entries()]
+    if args.json:
+        _print_json(rows)
+        return 0
+    for row in rows:
+        marker = "*" if row["default"] else " "
+        print(f"{marker} {row['name']:14s} {row['description']}")
+    print("\n(* default; select with --model on tune, "
+          "Toolchain.predict(model=...), or TuneSpec(model=...))")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -581,6 +713,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 
+    from .metrics.models import model_names
+    from .specs import OBJECTIVES
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="auto-tune a kernel's overlay/scheduler config (analytic "
+        "triage + simulate the frontier)",
+    )
+    p_tune.add_argument("--kernel", required=True, choices=kernel_names())
+    p_tune.add_argument(
+        "--variants", default="v1,v2,v3,v4,v5",
+        help="comma-separated FU variants, or 'all'",
+    )
+    p_tune.add_argument(
+        "--depths", default="",
+        help="comma-separated overlay depths (empty = auto per variant; 0 = auto)",
+    )
+    p_tune.add_argument(
+        "--fifo-depths", default="32", metavar="N,N",
+        help="comma-separated FIFO depths (default: 32)",
+    )
+    p_tune.add_argument(
+        "--schedulers", "--scheduler", default="",
+        help="comma-separated scheduling strategies, or 'all' (empty = every "
+        "registered strategy except the duplicate-producing 'auto')",
+    )
+    p_tune.add_argument(
+        "--model", default="analytic", choices=model_names(),
+        help="performance model that triages the candidates (see "
+        "'repro-overlay models')",
+    )
+    p_tune.add_argument(
+        "--objective", default="ii", choices=OBJECTIVES,
+        help="what to optimise: minimise II, maximise GOPS, or minimise latency",
+    )
+    p_tune.add_argument(
+        "--budget", type=int, default=8, metavar="N",
+        help="how many top-ranked candidates to actually simulate (default: 8)",
+    )
+    add_sim_args(p_tune, default_engine="fast", verify_flag=True)
+    p_tune.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the frontier simulation (default: CPU count)",
+    )
+    p_tune.add_argument("--json", action="store_true", help="emit the TuneResult as JSON")
+    p_tune.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist frontier measurements in DIR (repeat tunes re-simulate "
+        "nothing; accumulated rows also fit the 'calibrated' model)",
+    )
+    p_tune.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="with --store, reuse stored measurements instead of re-running",
+    )
+    p_tune.add_argument(
+        "--progress", action="store_true",
+        help="stream one line per simulated frontier point to stderr",
+    )
+    p_tune.set_defaults(func=_cmd_tune)
+
     p_eval = sub.add_parser("evaluate", help="evaluate a kernel on every overlay variant")
     p_eval.add_argument("--kernel", required=True, choices=kernel_names())
     p_eval.add_argument("--simulate", action="store_true")
@@ -595,6 +787,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scheds.add_argument("--json", action="store_true", help="emit JSON rows")
     p_scheds.set_defaults(func=_cmd_schedulers)
+
+    p_models = sub.add_parser(
+        "models", help="list performance models (the tuner's triage layer)"
+    )
+    p_models.add_argument("--json", action="store_true", help="emit JSON rows")
+    p_models.set_defaults(func=_cmd_models)
 
     p_scale = sub.add_parser("scalability", help="Fig. 5 resource/Fmax sweep")
     p_scale.add_argument("--variant", default="v1", choices=list(FU_VARIANTS))

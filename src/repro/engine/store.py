@@ -207,6 +207,34 @@ class ResultStore:
             if name.endswith(".json")
         )
 
+    def results(self) -> List["object"]:
+        """Every readable stored row, in entry-path order (calibration feed).
+
+        Unreadable or version-mismatched entries are skipped silently (the
+        caller is fitting a model, not resuming a grid — missing rows only
+        shrink the fit).  Lookup stats are untouched.
+        """
+        from .sweep import SweepResult  # local: sweep imports this module
+
+        rows = []
+        for path in self.entry_paths():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if (
+                not isinstance(entry, dict)
+                or entry.get("version") != STORE_VERSION
+                or not isinstance(entry.get("result"), dict)
+            ):
+                continue
+            try:
+                rows.append(SweepResult(**entry["result"]))
+            except TypeError:
+                continue
+        return rows
+
     def clear(self) -> int:
         """Remove every entry; returns how many were deleted."""
         removed = 0

@@ -5,10 +5,24 @@
   models and (optionally) cross-checked with the cycle-accurate simulator.
 * :mod:`repro.metrics.comparison` — reductions, speedups and geometric means
   used for the paper's headline claims (e.g. "average 70% reduction in II").
+* :mod:`repro.metrics.models` — the pluggable :class:`PerformanceModel`
+  family (analytic / warmup-aware / calibrated) and its registry: the
+  simulation-free triage layer behind :meth:`repro.api.Toolchain.predict`
+  and the auto-tuner (``docs/tuning.md``).
 * :mod:`repro.metrics.tables` — plain-text renderings of Table I, Table III
   and the Fig. 5 / Fig. 6 data series.
 """
 
+from .models import (
+    ModelPrediction,
+    PerformanceModel,
+    get_model,
+    model_entries,
+    model_names,
+    register_model,
+    resolve_model,
+    unregister_model,
+)
 from .performance import (
     PerformanceResult,
     analytic_performance,
@@ -32,6 +46,14 @@ from .tables import (
 )
 
 __all__ = [
+    "PerformanceModel",
+    "ModelPrediction",
+    "register_model",
+    "unregister_model",
+    "get_model",
+    "resolve_model",
+    "model_names",
+    "model_entries",
     "PerformanceResult",
     "analytic_performance",
     "evaluate_kernel",

@@ -27,7 +27,6 @@ from ..dfg.graph import DFG
 from ..errors import ConfigurationError
 from ..overlay.architecture import LinearOverlay
 from ..overlay.fu import get_variant
-from ..overlay.resources import estimate_resources
 from ..schedule import analytic_ii
 from ..schedule.types import OverlaySchedule
 
@@ -104,15 +103,20 @@ def analytic_performance(
 ) -> PerformanceResult:
     """Analytic-model evaluation of one already-scheduled kernel (pure).
 
-    This is the single place the Fig. 6 quantities are computed.  It runs
-    the graph work (resource estimate, ASAP levels behind
-    :func:`~repro.dfg.analysis.dfg_depth`, II and latency models) exactly
-    once per call; :meth:`repro.api.Toolchain.evaluate` memoises the result
-    on the spec-keyed compiled artifact so warm evaluations copy it instead.
+    This is the single place the Fig. 6 quantities are computed — by
+    delegating the closed-form core (resource estimate, II and latency
+    models) to the registered ``analytic`` performance model of
+    :mod:`repro.metrics.models` (the same code path the auto-tuner triages
+    candidates with) and adding the reporting-only kernel depth (an ASAP
+    relevelling the model family deliberately skips — it is metadata, not
+    a ranking input).  :meth:`repro.api.Toolchain.evaluate` memoises the
+    result on the spec-keyed compiled artifact so warm evaluations copy it
+    instead.
     """
-    resources = estimate_resources(overlay)
-    ii = analytic_ii(schedule)
-    latency_cycles = analytic_latency_cycles(schedule)
+    # Imported lazily: models.py builds on this module's helpers.
+    from .models import get_model
+
+    pred = get_model("analytic").predict(dfg, overlay, schedule)
     return PerformanceResult(
         kernel_name=dfg.name,
         overlay_name=overlay.name,
@@ -120,13 +124,13 @@ def analytic_performance(
         num_operations=dfg.num_operations,
         kernel_depth=dfg_depth(dfg),
         overlay_depth=overlay.depth,
-        ii=ii,
-        fmax_mhz=resources.fmax_mhz,
-        throughput_gops=throughput_gops(dfg.num_operations, ii, resources.fmax_mhz),
-        latency_cycles=latency_cycles,
-        latency_ns=latency_ns(latency_cycles, resources.fmax_mhz),
-        dsp_blocks=resources.dsp_blocks,
-        logic_slices=resources.logic_slices,
+        ii=pred.ii,
+        fmax_mhz=pred.fmax_mhz,
+        throughput_gops=pred.throughput_gops,
+        latency_cycles=pred.latency_cycles,
+        latency_ns=pred.latency_ns,
+        dsp_blocks=pred.dsp_blocks,
+        logic_slices=pred.logic_slices,
         scheduler=schedule.scheduler,
     )
 

@@ -12,7 +12,11 @@ three spec dataclasses:
 * :class:`SimSpec` — *how to simulate*: engine, steady-state detector,
   stream length, seed, tracing, verification;
 * :class:`SweepSpec` — *what grid to run*: kernels x overlay specs, one
-  shared :class:`SimSpec`, worker count.
+  shared :class:`SimSpec`, worker count;
+* :class:`TuneSpec` — *what to auto-tune*: one kernel, the candidate axes
+  (variants x depths x fifo_depths x schedulers), the performance model
+  that triages them, the objective and the simulation budget.  The tuner
+  returns a :class:`TuneResult` holding ranked :class:`TuneCandidate` rows.
 
 All three are frozen (hashable, usable as cache keys) and JSON
 round-trippable (``to_json`` / ``from_json`` are exact inverses), so a spec
@@ -34,6 +38,10 @@ from .overlay.fu import get_variant
 
 #: Simulation engines understood by :func:`repro.sim.overlay.simulate_schedule`.
 ENGINES = ("cycle", "fast")
+
+#: Objectives the auto-tuner can minimise: initiation interval, negated
+#: throughput, or pipeline latency.
+OBJECTIVES = ("ii", "gops", "latency")
 
 
 def _variant_name(variant) -> str:
@@ -374,6 +382,286 @@ class SweepSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class TuneSpec:
+    """What the auto-tuner should search, with which model and budget.
+
+    The candidate set is the cross product ``variants x depths x
+    fifo_depths x schedulers`` for one kernel.  Every candidate is ranked
+    analytically by the named performance model (microseconds per config)
+    and only the top-``budget`` frontier is simulated through the sweep
+    runner — riding its retry/quarantine machinery and, when ``store_dir``
+    is set, its persistent :class:`~repro.engine.store.ResultStore` (so a
+    repeated or enlarged tune only simulates configs it has never
+    measured, and the store's accumulated rows feed the ``calibrated``
+    model).
+
+    Attributes
+    ----------
+    kernel:
+        Library kernel name to tune.
+    variants:
+        FU-variant axis (canonicalised; defaults to V1-V5).
+    depths:
+        Overlay-depth axis; ``None`` entries mean the auto-sizing policy.
+    fifo_depths:
+        FIFO-depth axis.
+    schedulers:
+        Scheduling-strategy axis, or ``None`` for every registered
+        strategy except ``auto`` (which canonicalises to one of the
+        others and would only duplicate candidates).
+    model:
+        Performance-model name from :mod:`repro.metrics.models`.
+    objective:
+        One of :data:`OBJECTIVES` — what the tuner minimises (``"gops"``
+        maximises throughput).
+    budget:
+        Maximum number of candidates to *simulate*; everything else is
+        ranked analytically only.
+    sim:
+        Shared simulation policy (``None`` resolves to the sweep default,
+        ``SimSpec(engine="fast")``).
+    jobs:
+        Worker processes for the frontier simulation (``None`` = auto).
+    store_dir / resume:
+        Persistent result store for the frontier rows, exactly as on
+        :class:`SweepSpec`.
+    """
+
+    kernel: str = ""
+    variants: Tuple[str, ...] = ("v1", "v2", "v3", "v4", "v5")
+    depths: Tuple[Optional[int], ...] = (None,)
+    fifo_depths: Tuple[int, ...] = (32,)
+    schedulers: Optional[Tuple[str, ...]] = None
+    model: str = "analytic"
+    objective: str = "ii"
+    budget: int = 8
+    sim: Optional[SimSpec] = None
+    jobs: Optional[int] = None
+    store_dir: Optional[str] = None
+    resume: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.kernel or not isinstance(self.kernel, str):
+            raise ConfigurationError("a tune spec needs a kernel name")
+        variants = tuple(_variant_name(v) for v in self.variants)
+        if not variants:
+            raise ConfigurationError("a tune spec needs at least one variant")
+        object.__setattr__(self, "variants", variants)
+        depths = tuple(self.depths)
+        if not depths:
+            raise ConfigurationError(
+                "a tune spec needs at least one depth (None = auto sizing)"
+            )
+        for depth in depths:
+            if depth is None:
+                continue
+            if not isinstance(depth, int) or isinstance(depth, bool) or depth < 1:
+                raise ConfigurationError(
+                    f"tune depths must be positive integers or None, got {depth!r}"
+                )
+        object.__setattr__(self, "depths", depths)
+        fifo_depths = tuple(self.fifo_depths)
+        if not fifo_depths:
+            raise ConfigurationError("a tune spec needs at least one FIFO depth")
+        for fifo in fifo_depths:
+            if not isinstance(fifo, int) or isinstance(fifo, bool) or fifo < 2:
+                raise ConfigurationError(
+                    f"tune FIFO depths must be integers >= 2, got {fifo!r}"
+                )
+        object.__setattr__(self, "fifo_depths", fifo_depths)
+        if self.schedulers is not None:
+            schedulers = tuple(self.schedulers)
+            if not schedulers:
+                raise ConfigurationError(
+                    "schedulers must name at least one strategy (or be None "
+                    "for every registered strategy)"
+                )
+            from .schedule.registry import get_scheduler
+
+            for name in schedulers:
+                get_scheduler(name)
+            object.__setattr__(self, "schedulers", schedulers)
+        # Imported lazily: the model registry lives with the metrics layer.
+        from .metrics.models import get_model
+
+        get_model(self.model)  # unknown models fail at spec time
+        if self.objective not in OBJECTIVES:
+            raise ConfigurationError(
+                f"unknown tuning objective {self.objective!r}; "
+                f"available: {', '.join(OBJECTIVES)}"
+            )
+        if not isinstance(self.budget, int) or isinstance(self.budget, bool) or self.budget < 1:
+            raise ConfigurationError(
+                f"budget must be a positive integer, got {self.budget!r}"
+            )
+        if self.sim is None:
+            object.__setattr__(self, "sim", SimSpec(engine="fast"))
+        if self.jobs is not None and self.jobs < 1:
+            raise ConfigurationError("jobs must be at least 1 (or None for auto)")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "variants": list(self.variants),
+            "depths": list(self.depths),
+            "fifo_depths": list(self.fifo_depths),
+            "schedulers": list(self.schedulers) if self.schedulers else None,
+            "model": self.model,
+            "objective": self.objective,
+            "budget": self.budget,
+            "sim": self.sim.to_dict(),
+            "jobs": self.jobs,
+            "store_dir": self.store_dir,
+            "resume": self.resume,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuneSpec":
+        data = dict(_checked_fields(cls, data))
+        for axis in ("variants", "depths", "fifo_depths"):
+            if axis in data:
+                data[axis] = tuple(data[axis])
+        if data.get("schedulers") is not None:
+            data["schedulers"] = tuple(data["schedulers"])
+        if isinstance(data.get("sim"), dict):
+            data["sim"] = SimSpec.from_dict(data["sim"])
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuneSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One tuner candidate: predicted metrics, and measured ones if simulated.
+
+    ``rank`` is the candidate's 0-based position in the model's triage
+    ordering (infeasible candidates rank after every feasible one).
+    ``ii_error`` is the signed relative model error
+    ``(measured_ii - predicted_ii) / measured_ii`` — 0 means exact,
+    positive means the model (soundly) under-predicted.  Candidates carry
+    no timing fields on purpose: a :class:`TuneResult` is a pure function
+    of the spec and the measured rows, so identical tunes compare equal.
+    """
+
+    overlay: OverlaySpec
+    rank: int
+    predicted_ii: Optional[float] = None
+    predicted_cycles: Optional[float] = None
+    predicted_latency_ns: Optional[float] = None
+    predicted_gops: Optional[float] = None
+    fmax_mhz: Optional[float] = None
+    simulated: bool = False
+    measured_ii: Optional[float] = None
+    measured_gops: Optional[float] = None
+    measured_cycles: Optional[int] = None
+    measured_latency_cycles: Optional[int] = None
+    ii_error: Optional[float] = None
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        overlay = self.overlay
+        if not isinstance(overlay, OverlaySpec):
+            object.__setattr__(self, "overlay", OverlaySpec.from_dict(overlay))
+        if not isinstance(self.rank, int) or isinstance(self.rank, bool) or self.rank < 0:
+            raise ConfigurationError(
+                f"candidate rank must be a non-negative integer, got {self.rank!r}"
+            )
+
+    @property
+    def feasible(self) -> bool:
+        return self.error is None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["overlay"] = self.overlay.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuneCandidate":
+        return cls(**_checked_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """The tuner's verdict: triage-ranked candidates and the chosen one.
+
+    ``candidates`` is ordered by model rank (the first ``min(budget,
+    feasible)`` feasible rows are the simulated frontier); ``best_index``
+    points at the winner by *measured* objective among simulated rows
+    (``None`` when nothing could be measured).  JSON-round-trippable like
+    every spec, so a tune can be logged or shipped and reproduced.
+    """
+
+    spec: TuneSpec
+    candidates: Tuple[TuneCandidate, ...]
+    best_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        candidates = tuple(
+            c if isinstance(c, TuneCandidate) else TuneCandidate.from_dict(c)
+            for c in self.candidates
+        )
+        object.__setattr__(self, "candidates", candidates)
+        spec = self.spec
+        if not isinstance(spec, TuneSpec):
+            object.__setattr__(self, "spec", TuneSpec.from_dict(spec))
+        if self.best_index is not None:
+            if (
+                not isinstance(self.best_index, int)
+                or isinstance(self.best_index, bool)
+                or not 0 <= self.best_index < len(candidates)
+            ):
+                raise ConfigurationError(
+                    f"best_index {self.best_index!r} is not a valid index into "
+                    f"{len(candidates)} candidates"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def best(self) -> Optional[TuneCandidate]:
+        """The winning candidate (``None`` when nothing was measurable)."""
+        if self.best_index is None:
+            return None
+        return self.candidates[self.best_index]
+
+    @property
+    def num_feasible(self) -> int:
+        return sum(1 for c in self.candidates if c.feasible)
+
+    @property
+    def num_simulated(self) -> int:
+        return sum(1 for c in self.candidates if c.simulated)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "candidates": [c.to_dict() for c in self.candidates],
+            "best_index": self.best_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuneResult":
+        return cls(**_checked_fields(cls, data))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuneResult":
         return cls.from_dict(json.loads(text))
 
 

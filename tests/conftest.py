@@ -1,4 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the ``slow`` marker for the test suite.
+
+Tests marked ``@pytest.mark.slow`` (the full differential model-fidelity
+grids) are skipped by default so tier-1 stays fast; opt in with
+``pytest --runslow``.
+"""
 
 import pytest
 
@@ -6,6 +11,31 @@ from repro.dfg.builder import DFGBuilder
 from repro.kernels import all_benchmarks, get_kernel
 from repro.overlay.architecture import LinearOverlay
 from repro.overlay.fu import FU_VARIANTS
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (full kernel x variant x scheduler grids)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: full-grid differential tests, skipped unless --runslow is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow full-grid test; run with --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture

@@ -109,6 +109,7 @@ class TestEvaluate:
         assert first is not second
 
     def test_warm_evaluate_does_no_graph_work(self, monkeypatch):
+        import repro.metrics.models as models
         import repro.metrics.performance as performance
 
         tc = Toolchain(cache=ScheduleCache())
@@ -118,7 +119,10 @@ class TestEvaluate:
         def _boom(*args, **kwargs):  # pragma: no cover - would mean a failure
             raise AssertionError("analytic graph work re-ran on a warm evaluate")
 
-        monkeypatch.setattr(performance, "estimate_resources", _boom)
+        # The closed-form core lives in the model layer since the models
+        # refactor; dfg_depth (reporting metadata) stays in performance.py.
+        monkeypatch.setattr(models, "estimate_resources", _boom)
+        monkeypatch.setattr(models, "analytic_ii", _boom)
         monkeypatch.setattr(performance, "dfg_depth", _boom)
         monkeypatch.setattr(performance, "analytic_ii", _boom)
         assert tc.evaluate(handle) == warm_reference
@@ -385,4 +389,25 @@ class TestScheduleOnlyHandles:
             )
         )
         assert tc.cache.stats.misses == 1
+        assert (shared.stats.hits, shared.stats.misses) == before
+
+    def test_isolated_session_tune_never_touches_default_cache(self):
+        # The tuner compiles every candidate for triage and simulates the
+        # frontier; both paths must stay inside the session-injected cache
+        # (the same leak class evaluate_many had before PR 6).
+        from repro.engine.cache import default_cache
+
+        tc = Toolchain(cache=ScheduleCache())
+        shared = default_cache()
+        before = (shared.stats.hits, shared.stats.misses)
+        result = tc.tune(
+            "chebyshev",
+            variants=("v1", "v2"),
+            schedulers=("linear",),
+            budget=1,
+            jobs=1,
+            sim=SimSpec(engine="fast", num_blocks=4),
+        )
+        assert result.best is not None and result.best.simulated
+        assert tc.cache.stats.misses > 0
         assert (shared.stats.hits, shared.stats.misses) == before

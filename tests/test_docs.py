@@ -26,6 +26,7 @@ REQUIRED_PAGES = [
     os.path.join(DOCS_DIR, "compiler.md"),
     os.path.join(DOCS_DIR, "engine.md"),
     os.path.join(DOCS_DIR, "sweeps.md"),
+    os.path.join(DOCS_DIR, "tuning.md"),
 ]
 
 _LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")

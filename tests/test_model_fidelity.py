@@ -1,0 +1,255 @@
+"""Differential model-vs-simulation fidelity harness.
+
+The auto-tuner (``repro/tune.py``) is only sound if its analytic triage
+cannot rank a winning configuration out of the frontier.  This suite pins
+the three properties that guarantee it, differentially against the fast
+engine over the kernel x variant x scheduler grid:
+
+* **II lower bound** — every registered built-in model's predicted II is
+  ``<=`` the measured II on every feasible grid point (a config whose
+  prediction already loses cannot win once measured);
+* **cycles envelope** — the warm-up-aware model's total-cycle estimate
+  brackets the measurement: the steady-state issue floor from below, the
+  estimate plus the certified ``W(depth, fifo_depth, II)`` warm-up window
+  from above, and the point estimate lands within a stated relative
+  tolerance;
+* **rank fidelity** — per kernel, the Spearman rank correlation between
+  each model's II ranking of the feasible configs and the measured ranking
+  is at or above threshold (triage order agrees with measured order).
+
+Tier-1 runs a sampled fast subset (3 kernels x 2 variants x every
+strategy); the full grid — every kernel, every variant, every strategy —
+is ``@pytest.mark.slow`` (run with ``--runslow``).  Measurements are
+memoised module-wide, so the grid is simulated once per session.
+"""
+
+import math
+from functools import lru_cache
+
+import pytest
+
+from repro.api import Toolchain
+from repro.engine.cache import ScheduleCache
+from repro.errors import ConfigurationError, InfeasibleScheduleError
+from repro.kernels import kernel_names
+from repro.metrics.models import get_model
+from repro.overlay.fu import FU_VARIANTS
+from repro.schedule import analytic_ii
+from repro.schedule.registry import scheduler_names
+from repro.specs import OverlaySpec, SimSpec
+
+#: One stream long enough that every feasible point completes >= 2 blocks
+#: (a measurable II) and the steady-state extrapolation has teeth.
+SIM = SimSpec(engine="fast", num_blocks=12)
+
+#: Relative tolerance of the warm-up-aware total-cycle point estimate
+#: (measured over the full grid: max |measured - predicted| / predicted
+#: is ~0.35, dominated by shallow overlays where one pipeline fill is a
+#: large fraction of a 12-block run).
+CYCLES_RTOL = 0.40
+
+#: Minimum per-kernel Spearman rank correlation between each model's II
+#: ranking and the measured ranking.
+SPEARMAN_MIN = 0.90
+
+BUILTIN_MODELS = ("analytic", "warmup-aware", "calibrated")
+STRATEGIES = tuple(n for n in scheduler_names() if n != "auto")
+
+FULL_KERNELS = tuple(kernel_names())
+FULL_VARIANTS = tuple(FU_VARIANTS)
+FAST_KERNELS = ("gradient", "qspline", "poly7")
+FAST_VARIANTS = ("v1", "v3")
+
+
+@lru_cache(maxsize=None)
+def _toolchain():
+    return Toolchain(cache=ScheduleCache())
+
+
+@lru_cache(maxsize=None)
+def _point(kernel, variant, strategy):
+    """(handle, simulation) for one grid point, or None when infeasible."""
+    spec = OverlaySpec(variant=variant, scheduler=strategy)
+    try:
+        handle = _toolchain().compile(kernel, spec, allow_schedule_only=True)
+    except (InfeasibleScheduleError, ConfigurationError):
+        return None
+    return handle, _toolchain().simulate(handle, SIM)
+
+
+def _grid(kernels, variants):
+    for kernel in kernels:
+        for variant in variants:
+            for strategy in STRATEGIES:
+                point = _point(kernel, variant, strategy)
+                if point is None:
+                    continue
+                yield (kernel, variant, strategy) + point
+
+
+def _fit_rows(kernels, variants):
+    """Measured rows of the grid, in the shape CalibratedModel.fit ingests."""
+    return [
+        {
+            "kernel": kernel,
+            "scheduler": strategy,
+            "analytic_ii": analytic_ii(handle.schedule),
+            "measured_ii": sim.measured_ii,
+            "error": None,
+            "quarantined": False,
+        }
+        for kernel, variant, strategy, handle, sim in _grid(kernels, variants)
+    ]
+
+
+def _models(kernels, variants):
+    """One instance of every built-in model, calibrated ones fitted on the grid."""
+    models = []
+    for name in BUILTIN_MODELS:
+        model = get_model(name)
+        model.fit(_fit_rows(kernels, variants))
+        models.append(model)
+    return models
+
+
+# ---------------------------------------------------------------------------
+# property implementations (shared by the fast subset and the slow full grid)
+# ---------------------------------------------------------------------------
+def _check_ii_lower_bound(kernels, variants):
+    models = _models(kernels, variants)
+    checked = 0
+    for kernel, variant, strategy, handle, sim in _grid(kernels, variants):
+        if sim.measured_ii is None:
+            continue
+        for model in models:
+            pred = model.predict(
+                handle.dfg, handle.overlay, handle.schedule,
+                sim=SIM, scheduler=strategy,
+            )
+            assert pred.ii <= sim.measured_ii + 1e-9, (
+                f"{model.name} over-predicted II on {kernel}/{variant}/"
+                f"{strategy}: predicted {pred.ii} > measured {sim.measured_ii}"
+            )
+            checked += 1
+    assert checked > 0
+
+
+def _check_cycles_envelope(kernels, variants):
+    model = get_model("warmup-aware")
+    checked = 0
+    for kernel, variant, strategy, handle, sim in _grid(kernels, variants):
+        pred = model.predict(
+            handle.dfg, handle.overlay, handle.schedule,
+            sim=SIM, scheduler=strategy,
+        )
+        where = f"{kernel}/{variant}/{strategy}"
+        measured = sim.total_cycles
+        # Steady-state issue floor: after the first start, each further
+        # start costs at least one per-lane II.
+        lanes = handle.schedule.variant.lanes
+        starts = math.ceil(SIM.num_blocks / lanes)
+        floor = (starts - 1) * pred.ii * lanes
+        assert floor <= measured + 1e-9, (
+            f"steady-state floor {floor} above measured {measured} on {where}"
+        )
+        # Certified ceiling: the estimate plus the analytic warm-up window.
+        assert measured <= pred.cycles + pred.warmup_bound_cycles + 1e-9, (
+            f"measured {measured} above predicted {pred.cycles} + warm-up "
+            f"bound {pred.warmup_bound_cycles} on {where}"
+        )
+        # And the point estimate itself is close.
+        assert abs(measured - pred.cycles) / pred.cycles <= CYCLES_RTOL, (
+            f"cycles estimate {pred.cycles} vs measured {measured} off by "
+            f"more than {CYCLES_RTOL:.0%} on {where}"
+        )
+        checked += 1
+    assert checked > 0
+
+
+def _avg_ranks(values):
+    """Average (fractional) ranks, ties sharing their mean rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def _spearman(xs, ys):
+    """Spearman rank correlation with average ranks for ties."""
+    rx, ry = _avg_ranks(xs), _avg_ranks(ys)
+    n = len(rx)
+    mx, my = sum(rx) / n, sum(ry) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    vx = sum((a - mx) ** 2 for a in rx)
+    vy = sum((b - my) ** 2 for b in ry)
+    if vx == 0 and vy == 0:
+        return 1.0  # both rankings are a single tie: identical orderings
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)
+
+
+def _check_rank_correlation(kernels, variants):
+    models = _models(kernels, variants)
+    checked = 0
+    for kernel in kernels:
+        configs = [
+            (variant, strategy, handle, sim)
+            for k, variant, strategy, handle, sim in _grid([kernel], variants)
+            if sim.measured_ii is not None
+        ]
+        if len(configs) < 3:
+            continue  # no meaningful ranking over fewer than 3 configs
+        measured = [sim.measured_ii for _, _, _, sim in configs]
+        for model in models:
+            predicted = [
+                model.predict(
+                    handle.dfg, handle.overlay, handle.schedule,
+                    sim=SIM, scheduler=strategy,
+                ).ii
+                for _, strategy, handle, _ in configs
+            ]
+            rho = _spearman(predicted, measured)
+            assert rho >= SPEARMAN_MIN, (
+                f"{model.name} ranking of {kernel} configs only reaches "
+                f"Spearman {rho:.3f} < {SPEARMAN_MIN} vs measured"
+            )
+            checked += 1
+    assert checked > 0
+
+
+# ---------------------------------------------------------------------------
+# tier-1: sampled fast subset
+# ---------------------------------------------------------------------------
+class TestFastSubset:
+    def test_ii_is_a_lower_bound(self):
+        _check_ii_lower_bound(FAST_KERNELS, FAST_VARIANTS)
+
+    def test_warmup_aware_cycles_envelope(self):
+        _check_cycles_envelope(FAST_KERNELS, FAST_VARIANTS)
+
+    def test_model_ranking_matches_measured_ranking(self):
+        _check_rank_correlation(FAST_KERNELS, FAST_VARIANTS)
+
+
+# ---------------------------------------------------------------------------
+# the full differential grid (every kernel x variant x scheduler): --runslow
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+class TestFullGrid:
+    def test_ii_is_a_lower_bound(self):
+        _check_ii_lower_bound(FULL_KERNELS, FULL_VARIANTS)
+
+    def test_warmup_aware_cycles_envelope(self):
+        _check_cycles_envelope(FULL_KERNELS, FULL_VARIANTS)
+
+    def test_model_ranking_matches_measured_ranking(self):
+        _check_rank_correlation(FULL_KERNELS, FULL_VARIANTS)

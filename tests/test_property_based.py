@@ -8,8 +8,15 @@ tool flow must uphold for *any* legal kernel:
 * the analytic II equals the simulator's steady-state measurement;
 * the generated instruction streams round-trip through the binary encoding;
 * the simulated overlay computes exactly what the reference model computes,
-  on every FU variant.
+  on every FU variant;
+* the auto-tuner is a pure function of its spec and its result store — the
+  same :class:`~repro.specs.TuneSpec` against the same store reproduces the
+  identical :class:`~repro.specs.TuneResult`, and a resumed tune never
+  re-simulates a stored frontier point.
 """
+
+import shutil
+import tempfile
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -142,3 +149,126 @@ class TestSimulationInvariants:
         dfg = random_dfg(3, 10, seed=seed)
         blocks = random_input_blocks(dfg, 4, seed=seed)
         assert all(len(b) == dfg.num_inputs for b in blocks)
+
+
+class TestTunerInvariants:
+    """The auto-tuner is deterministic and resume never re-simulates.
+
+    One session-scoped toolchain amortises compilation across examples; a
+    fresh store directory per example keeps the resume accounting exact.
+    Temp dirs are managed inline because hypothesis re-runs the function
+    body many times per test (function-scoped fixtures would be shared).
+    """
+
+    _toolchain = None
+
+    @classmethod
+    def _session(cls):
+        from repro.api import Toolchain
+        from repro.engine.cache import ScheduleCache
+
+        if cls._toolchain is None:
+            cls._toolchain = Toolchain(cache=ScheduleCache())
+        return cls._toolchain
+
+    @given(
+        budget=st.integers(min_value=1, max_value=3),
+        objective=st.sampled_from(["ii", "gops", "latency"]),
+        model=st.sampled_from(["analytic", "warmup-aware"]),
+        variants=st.sets(
+            st.sampled_from(["v1", "v2", "v3"]), min_size=1, max_size=3
+        ),
+        schedulers=st.sets(
+            st.sampled_from(["linear", "clustered"]), min_size=1, max_size=2
+        ),
+    )
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_same_spec_and_store_reproduce_the_identical_result(
+        self, budget, objective, model, variants, schedulers
+    ):
+        from repro.engine.store import ResultStore
+        from repro.specs import TuneSpec
+        from repro.tune import tune
+
+        root = tempfile.mkdtemp(prefix="tune-prop-")
+        try:
+            spec = TuneSpec(
+                kernel="gradient",
+                variants=tuple(sorted(variants)),
+                schedulers=tuple(sorted(schedulers)),
+                model=model,
+                objective=objective,
+                budget=budget,
+                jobs=1,
+                store_dir=root,
+            )
+            first = tune(spec, toolchain=self._session())
+            probe = ResultStore(root)
+            second = tune(spec, toolchain=self._session(), store=probe)
+            assert second == first
+            # Resume contract: every frontier point was served from the
+            # store — nothing was re-simulated, nothing re-written.
+            assert probe.stats.writes == 0
+            assert probe.stats.hits == first.num_simulated
+            assert probe.stats.misses == 0
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    @given(budget=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_enlarged_budget_only_simulates_the_new_frontier_points(self, budget):
+        from repro.engine.store import ResultStore
+        from repro.specs import TuneSpec
+        from repro.tune import tune
+
+        root = tempfile.mkdtemp(prefix="tune-grow-")
+        try:
+            base = TuneSpec(
+                kernel="gradient",
+                variants=("v1", "v2", "v3"),
+                schedulers=("linear", "clustered"),
+                budget=budget,
+                jobs=1,
+                store_dir=root,
+            )
+            small = tune(base, toolchain=self._session())
+            probe = ResultStore(root)
+            import dataclasses
+
+            grown = tune(
+                dataclasses.replace(base, budget=budget + 1),
+                toolchain=self._session(),
+                store=probe,
+            )
+            # The triage ranking is deterministic, so the larger frontier is
+            # a superset: exactly one new point simulates, the rest resume.
+            assert probe.stats.hits == small.num_simulated
+            assert probe.stats.writes == grown.num_simulated - small.num_simulated
+            assert grown.num_simulated == min(
+                budget + 1, grown.num_feasible
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def test_calibrated_tuner_is_deterministic_once_the_store_is_fixed(self):
+        from repro.engine.store import ResultStore
+        from repro.specs import TuneSpec
+        from repro.tune import tune
+
+        root = tempfile.mkdtemp(prefix="tune-cal-")
+        try:
+            spec = TuneSpec(
+                kernel="gradient",
+                variants=("v1", "v2"),
+                schedulers=("linear",),
+                model="calibrated",
+                budget=2,
+                jobs=1,
+                store_dir=root,
+            )
+            tune(spec, toolchain=self._session())  # seeds the store + fit rows
+            second = tune(spec, toolchain=self._session())
+            third = tune(spec, toolchain=self._session(), store=ResultStore(root))
+            assert third == second
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
