@@ -36,7 +36,7 @@ from typing import List, Optional, Tuple, Union
 from .dfg.graph import DFG
 from .dfg.serialize import dfg_fingerprint
 from .engine.cache import CacheKey, CompiledKernel, ScheduleCache, default_cache
-from .errors import CodegenError, ConfigurationError
+from .errors import CodegenError, ConfigurationError, VerificationError
 from .kernels.library import get_kernel
 from .metrics.models import ModelPrediction, PerformanceModel, resolve_model
 from .metrics.performance import PerformanceResult, analytic_performance
@@ -117,6 +117,7 @@ class Toolchain:
         source: Optional[str] = None,
         name: Optional[str] = None,
         allow_schedule_only: bool = False,
+        check: bool = False,
     ) -> CompiledHandle:
         """Compile a kernel (library name, DFG, or mini-C ``source``).
 
@@ -124,7 +125,13 @@ class Toolchain:
         lookup.  With ``allow_schedule_only=True``, kernels whose codegen
         overflows the register file / instruction memory come back as
         schedule-only handles instead of raising
-        :class:`~repro.errors.CodegenError`.
+        :class:`~repro.errors.CodegenError`.  With ``check=True``, the
+        compiled artifact is run through the static verification passes
+        (:mod:`repro.verify`) and an error diagnostic raises
+        :class:`~repro.errors.VerificationError`; artifacts produced by a
+        *third-party* scheduler strategy are checked this way on every
+        compile regardless (verdicts are cached alongside the artifact, so
+        warm compiles re-verify nothing — see ``docs/verify.md``).
         """
         if not isinstance(overlay, OverlaySpec):
             raise ConfigurationError(
@@ -134,21 +141,23 @@ class Toolchain:
         if source is not None:
             if kernel is not None:
                 raise ConfigurationError("pass either a kernel or source, not both")
-            return self._compile_source(source, overlay, name, allow_schedule_only)
+            return self._compile_source(
+                source, overlay, name, allow_schedule_only, check=check
+            )
         if kernel is None:
             raise ConfigurationError("provide a kernel (name or DFG) or source=")
         dfg = get_kernel(kernel) if isinstance(kernel, str) else kernel
         built, resolved, key = self._resolve(dfg, overlay)
         try:
             compiled = self.cache.get_or_compile_keyed(key, dfg, built)
-            return self._handle_from_compiled(dfg, built, resolved, key, compiled)
+            handle = self._handle_from_compiled(dfg, built, resolved, key, compiled)
         except CodegenError:
             if not allow_schedule_only:
                 raise
             schedule = self.cache.get_schedule(
                 dfg, built, scheduler=resolved.scheduler
             )
-            return CompiledHandle(
+            handle = CompiledHandle(
                 dfg=dfg,
                 overlay=built,
                 spec=resolved,
@@ -157,6 +166,7 @@ class Toolchain:
                 configuration=None,
                 key=key,
             )
+        return self._checked(handle, check)
 
     def _compile_source(
         self,
@@ -164,6 +174,7 @@ class Toolchain:
         overlay: OverlaySpec,
         name: Optional[str],
         allow_schedule_only: bool = False,
+        check: bool = False,
     ) -> CompiledHandle:
         from .frontend.cache import default_frontend_cache
         from .frontend.lexer import source_hash
@@ -195,19 +206,25 @@ class Toolchain:
             if not allow_schedule_only:
                 raise
             dfg = default_frontend_cache().dfg(source, name=name)
-            return CompiledHandle(
-                dfg=dfg,
-                overlay=built,
-                spec=resolved,
-                schedule=self.cache.get_schedule(
-                    dfg, built, scheduler=resolved.scheduler
+            return self._checked(
+                CompiledHandle(
+                    dfg=dfg,
+                    overlay=built,
+                    spec=resolved,
+                    schedule=self.cache.get_schedule(
+                        dfg, built, scheduler=resolved.scheduler
+                    ),
+                    program=None,
+                    configuration=None,
+                    key=key,
                 ),
-                program=None,
-                configuration=None,
-                key=key,
+                check,
             )
-        return self._handle_from_compiled(
-            compiled.schedule.dfg, built, resolved, key, compiled
+        return self._checked(
+            self._handle_from_compiled(
+                compiled.schedule.dfg, built, resolved, key, compiled
+            ),
+            check,
         )
 
     def _resolve(
@@ -277,6 +294,62 @@ class Toolchain:
             key=key,
             warmup_bound_cycles=compiled.warmup_bound_cycles,
         )
+
+    # ------------------------------------------------------------------
+    # verify
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        handle: CompiledHandle,
+        *,
+        passes: Optional[List[str]] = None,
+        use_cache: bool = True,
+    ) -> "VerifyReport":
+        """Run the static verification passes over a compiled artifact.
+
+        Returns the :class:`~repro.verify.VerifyReport` (never raises on
+        diagnostics — callers decide; ``compile(check=True)`` is the raising
+        wrapper).  Full-suite verdicts (``passes=None``) are cached on the
+        artifact's cache key, so re-verifying a warm artifact is a
+        dictionary lookup; pass ``use_cache=False`` to force a re-run, or
+        ``passes=[...]`` to run a subset (never cached).
+        """
+        from .verify import VerifyContext, run_passes
+
+        if not isinstance(handle, CompiledHandle):
+            raise ConfigurationError("verify() takes a handle from compile()")
+        cacheable = passes is None and use_cache
+        if cacheable:
+            report = self.cache.get_verdict(handle.key)
+            if report is not None:
+                return report
+        report = run_passes(VerifyContext.from_handle(handle), passes=passes)
+        if cacheable:
+            self.cache.store_verdict(handle.key, report)
+        return report
+
+    def _checked(self, handle: CompiledHandle, check: bool) -> CompiledHandle:
+        """Verify a freshly compiled handle when the session must.
+
+        ``check=True`` verifies explicitly; artifacts from third-party
+        scheduler strategies (anything :func:`~repro.schedule.registry.
+        register_scheduler` added beyond the built-ins) are verified on
+        first compile even without ``check`` — the cached verdict makes
+        every later compile of the same artifact free.
+        """
+        from .schedule.registry import is_builtin_scheduler
+
+        if not check and is_builtin_scheduler(handle.key.scheduler):
+            return handle
+        report = self.verify(handle)
+        if not report.ok:
+            raise VerificationError(
+                f"kernel {handle.kernel_name!r} on "
+                f"{handle.spec.variant}/{handle.key.scheduler} failed static "
+                f"verification: {report.summary()}",
+                report=report,
+            )
+        return handle
 
     # ------------------------------------------------------------------
     # evaluate / simulate

@@ -15,6 +15,7 @@
     repro-overlay sweep --kernels all --variants v1,v2 --blocks 64 --json
     repro-overlay sweep --kernels all --variants all --store runs/grid \
                         --progress --output rows.json   # incremental + resumable
+    repro-overlay check --kernels all --variants all   # static verification
     repro-overlay table3                          # regenerate Table III
     repro-overlay scalability --variant v1        # Fig. 5 data series
     repro-overlay dot --kernel qspline            # DFG in Graphviz DOT
@@ -564,6 +565,47 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .errors import InfeasibleScheduleError
+    from .schedule.registry import scheduler_names
+
+    toolchain = default_toolchain()
+    kernels = _parse_name_list(args.kernels, kernel_names(), "kernel")
+    variants = _parse_name_list(args.variants, list(FU_VARIANTS), "variant")
+    schedulers = _parse_name_list(args.schedulers, scheduler_names(), "scheduler")
+    reports = []
+    skipped = 0
+    for kernel in kernels:
+        for variant in variants:
+            for scheduler in schedulers:
+                spec = OverlaySpec(variant=variant, scheduler=scheduler)
+                try:
+                    handle = toolchain.compile(
+                        kernel, spec, allow_schedule_only=True
+                    )
+                except InfeasibleScheduleError:
+                    skipped += 1  # the strategy cannot map this point at all
+                    continue
+                reports.append(toolchain.verify(handle))
+    failing = [report for report in reports if not report.ok]
+    if args.json:
+        _print_json([report.to_dict() for report in reports])
+        return 1 if failing else 0
+    for report in reports:
+        if report.ok and not args.verbose:
+            continue
+        print(report.summary())
+        for diagnostic in report.diagnostics:
+            print(f"  {diagnostic}")
+    print(
+        f"checked {len(reports)} artifacts "
+        f"({len(kernels)} kernels x {len(variants)} variants x "
+        f"{len(schedulers)} schedulers, {skipped} infeasible points skipped): "
+        f"{len(failing)} failing"
+    )
+    return 1 if failing else 0
+
+
 def _cmd_schedulers(args: argparse.Namespace) -> int:
     from .schedule.registry import scheduler_strategies
 
@@ -781,6 +823,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table3", help="regenerate the paper's Table III").set_defaults(
         func=_cmd_table3
     )
+
+    p_check = sub.add_parser(
+        "check",
+        help="statically verify compiled artifacts (linter over the "
+        "kernels x variants x schedulers grid; see docs/verify.md)",
+    )
+    p_check.add_argument(
+        "--kernels", default="all", help="comma-separated kernel names, or 'all'"
+    )
+    p_check.add_argument(
+        "--variants", default="all", help="comma-separated FU variants, or 'all'"
+    )
+    p_check.add_argument(
+        "--schedulers",
+        "--scheduler",
+        default="all",
+        help="comma-separated scheduling strategies, or 'all'",
+    )
+    p_check.add_argument("--json", action="store_true", help="emit the reports as JSON")
+    p_check.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print one summary line per passing artifact",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_scheds = sub.add_parser(
         "schedulers", help="list the registered scheduling strategies"

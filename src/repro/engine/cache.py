@@ -174,6 +174,10 @@ class ScheduleCache:
         #: valid and analytic sweeps request it over and over, so it is
         #: memoised here instead of being rescheduled on every call.
         self._schedule_index: "OrderedDict[CacheKey, OverlaySchedule]" = OrderedDict()
+        #: Static-verification verdicts (``repro.verify.VerifyReport``) keyed
+        #: by compile key, so warm compile paths never re-run the passes.
+        #: Verdicts live and die with the entries: ``clear()`` drops them.
+        self._verdicts: "OrderedDict[CacheKey, object]" = OrderedDict()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -186,7 +190,27 @@ class ScheduleCache:
             self._entries.clear()
             self._source_index.clear()
             self._schedule_index.clear()
+            self._verdicts.clear()
             self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # verification verdicts
+    # ------------------------------------------------------------------
+    def get_verdict(self, key: CacheKey):
+        """The cached verification verdict for ``key`` (None on a miss)."""
+        with self._lock:
+            verdict = self._verdicts.get(key)
+            if verdict is not None:
+                self._verdicts.move_to_end(key)
+            return verdict
+
+    def store_verdict(self, key: CacheKey, report) -> None:
+        """Remember a verification verdict (LRU-bounded like the entries)."""
+        with self._lock:
+            self._verdicts[key] = report
+            self._verdicts.move_to_end(key)
+            while len(self._verdicts) > self.capacity:
+                self._verdicts.popitem(last=False)
 
     # ------------------------------------------------------------------
     def get_or_compile(

@@ -74,5 +74,19 @@ class ConfigurationError(ReproError):
     """An overlay/architecture configuration is invalid."""
 
 
+class VerificationError(ReproError):
+    """A compiled artifact failed the static verification passes.
+
+    Raised by ``Toolchain.compile(..., check=True)`` and by the
+    first-compile verification of third-party registered schedulers.  The
+    offending :class:`repro.verify.VerifyReport` rides along as
+    ``error.report`` so callers can inspect the individual diagnostics.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class KernelError(ReproError):
     """A benchmark kernel is malformed or unknown."""

@@ -211,6 +211,7 @@ def resolve_strategy_name(name: str, overlay: LinearOverlay) -> str:
 # ---------------------------------------------------------------------------
 def _register_builtins() -> None:
     """Register the built-in strategies (import deferred to avoid cycles)."""
+    from .alap import schedule_alap
     from .greedy import schedule_fixed_depth
     from .linear import schedule_linear
     from .modulo import schedule_modulo
@@ -252,9 +253,29 @@ def _register_builtins() -> None:
         ),
         folds_levels=True,
     )
+    register_scheduler(
+        "alap",
+        schedule_alap,
+        description=(
+            "as-late-as-possible scheduling: operations sink to the latest "
+            "legal stage (balanced ALAP-level clustering on deep write-back "
+            "kernels)"
+        ),
+        folds_levels=True,
+    )
 
 
 _register_builtins()
 
 #: Names that :func:`unregister_scheduler` refuses to drop.
 _BUILTIN_SCHEDULERS = frozenset(_REGISTRY)
+
+
+def is_builtin_scheduler(name: str) -> bool:
+    """Whether ``name`` is one of the built-in strategies.
+
+    Third-party strategies (``register_scheduler`` from user code) return
+    False — the Toolchain statically verifies their first compiled artifact
+    (see ``docs/verify.md``), a cost the contract-tested builtins skip.
+    """
+    return name in _BUILTIN_SCHEDULERS

@@ -1,0 +1,222 @@
+"""Binary consistency checks (family ``BIN``).
+
+Translation validation of the last lowering step: every emitted instruction
+must survive an encode→decode→re-encode round trip, the serialised
+:class:`~repro.program.binary.ConfigurationImage` must carry exactly the
+words the program encodes to (and byte-round-trip losslessly), per-FU
+sections must fit the instruction memory, and decoded fields must be legal
+for the FU variant (no write-back bit without a write-back path, no explicit
+LOAD instructions on load/execute-overlapping variants).
+
+FUs whose program cannot be encoded because the register allocation is
+broken (``RegisterAllocationError``) are skipped here — the ``regalloc``
+pass owns that failure.
+
+Codes
+-----
+``BIN001``  encode/decode round-trip mismatch, undecodable word, or the
+            image's words diverging from the program's encoding
+``BIN002``  FU section exceeds the instruction-memory depth
+``BIN003``  configuration image does not survive a bytes round trip
+``BIN004``  decoded write-back field illegal for the variant
+``BIN005``  explicit LOAD instructions disagree with the variant's load model
+``BIN006``  image shape mismatch (FU count, constant sections)
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import EncodingError, RegisterAllocationError
+from ..overlay.isa import InstructionKind, decode_instruction, encode_instruction
+from .diagnostics import Diagnostic, Severity
+
+_PASS = "binary"
+
+
+def _error(code: str, message: str, **location) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=Severity.ERROR,
+        message=message,
+        pass_name=_PASS,
+        **location,
+    )
+
+
+def run(ctx) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    variant = ctx.overlay.variant
+    encoded_sections: List[Tuple[int, List[int]]] = []
+
+    stages = ctx.schedule.stages
+    for fu_program in ctx.program.fu_programs:
+        index = fu_program.stage
+        try:
+            words = fu_program.encoded_words()
+        except RegisterAllocationError:
+            continue  # the regalloc pass owns broken allocations
+        except EncodingError as error:
+            out.append(
+                _error("BIN001", f"FU {index} program does not encode: {error}", stage=index)
+            )
+            continue
+        encoded_sections.append((index, words))
+        if len(words) > variant.instruction_memory_depth:
+            out.append(
+                _error(
+                    "BIN002",
+                    f"FU {index} encodes to {len(words)} words but the "
+                    f"{variant.paper_label} instruction memory holds "
+                    f"{variant.instruction_memory_depth}",
+                    stage=index,
+                )
+            )
+        out.extend(_check_words(words, variant, index))
+        loads = sum(
+            1
+            for word in words
+            if _kind_of(word) is InstructionKind.LOAD
+        )
+        if variant.overlap_load_execute:
+            if loads:
+                out.append(
+                    _error(
+                        "BIN005",
+                        f"FU {index} carries {loads} explicit LOAD instructions "
+                        f"but {variant.paper_label} overlaps loads with "
+                        "execution (loads are implicit)",
+                        stage=index,
+                    )
+                )
+        elif 0 <= index < len(stages) and loads != stages[index].num_loads:
+            out.append(
+                _error(
+                    "BIN005",
+                    f"FU {index} encodes {loads} LOAD instructions for "
+                    f"{stages[index].num_loads} stream loads",
+                    stage=index,
+                )
+            )
+
+    if ctx.configuration is not None:
+        out.extend(_check_image(ctx, encoded_sections))
+    return out
+
+
+def _kind_of(word: int):
+    try:
+        return decode_instruction(word).kind
+    except EncodingError:
+        return None
+
+
+def _check_words(words: List[int], variant, index: int) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for slot, word in enumerate(words):
+        try:
+            decoded = decode_instruction(word)
+        except EncodingError as error:
+            out.append(
+                _error(
+                    "BIN001",
+                    f"word {slot} of FU {index} (0x{word:08x}) does not "
+                    f"decode: {error}",
+                    stage=index,
+                    slot=slot,
+                )
+            )
+            continue
+        if encode_instruction(decoded) != word:
+            out.append(
+                _error(
+                    "BIN001",
+                    f"word {slot} of FU {index} (0x{word:08x}) does not "
+                    "survive a decode/re-encode round trip",
+                    stage=index,
+                    slot=slot,
+                )
+            )
+        if decoded.wb and not variant.write_back:
+            out.append(
+                _error(
+                    "BIN004",
+                    f"word {slot} of FU {index} sets the write-back bit but "
+                    f"{variant.paper_label} has no write-back path",
+                    stage=index,
+                    slot=slot,
+                )
+            )
+    return out
+
+
+def _check_image(ctx, encoded_sections) -> List[Diagnostic]:
+    image = ctx.configuration
+    overlay = ctx.overlay
+    out: List[Diagnostic] = []
+
+    if image.num_fus != overlay.depth:
+        out.append(
+            _error(
+                "BIN006",
+                f"configuration image has {image.num_fus} FU sections for a "
+                f"depth-{overlay.depth} overlay",
+            )
+        )
+
+    for index, words in encoded_sections:
+        if index >= image.num_fus:
+            continue  # the shape mismatch above covers it
+        image_words = list(image.fu_instruction_words[index])
+        if image_words != words:
+            out.append(
+                _error(
+                    "BIN001",
+                    f"FU {index} image section diverges from the program's "
+                    f"encoding ({len(image_words)} vs {len(words)} words, "
+                    "first difference at word "
+                    f"{_first_difference(image_words, words)})",
+                    stage=index,
+                )
+            )
+        out.extend(_check_words(image_words, overlay.variant, index))
+
+    for fu_program in ctx.program.fu_programs:
+        index = fu_program.stage
+        if index >= image.num_fus:
+            continue
+        expected = []
+        for const_id, register in fu_program.allocation.constant_registers.items():
+            if const_id in ctx.dfg:
+                expected.append((register, int(ctx.dfg.node(const_id).value)))
+        if sorted(image.fu_constants[index]) != sorted(expected):
+            out.append(
+                _error(
+                    "BIN006",
+                    f"FU {index} constant section {list(image.fu_constants[index])} "
+                    f"disagrees with the allocation's constants {expected}",
+                    stage=index,
+                )
+            )
+
+    try:
+        restored = type(image).from_bytes(image.to_bytes())
+    except EncodingError as error:
+        out.append(_error("BIN003", f"configuration image does not serialise: {error}"))
+        return out
+    words_restored = [list(w) for w in restored.fu_instruction_words]
+    words_original = [list(w) for w in image.fu_instruction_words]
+    consts_restored = [[tuple(p) for p in c] for c in restored.fu_constants]
+    consts_original = [[tuple(p) for p in c] for c in image.fu_constants]
+    if words_restored != words_original or consts_restored != consts_original:
+        out.append(
+            _error("BIN003", "configuration image does not survive a bytes round trip")
+        )
+    return out
+
+
+def _first_difference(left: List[int], right: List[int]) -> int:
+    for position, (a, b) in enumerate(zip(left, right)):
+        if a != b:
+            return position
+    return min(len(left), len(right))

@@ -1,0 +1,152 @@
+"""The verification engine: contexts, the pass registry, and the runner.
+
+A :class:`VerifyContext` is the bundle of artifacts one compile produced —
+at minimum the :class:`~repro.schedule.types.OverlaySchedule` (which carries
+the DFG and the built overlay), optionally the register-allocated
+:class:`~repro.program.codegen.OverlayProgram`, the serialised
+:class:`~repro.program.binary.ConfigurationImage`, the resolved
+:class:`~repro.specs.OverlaySpec`, the compile-cache key and the certified
+warm-up bound.  Passes receive the context and return diagnostics; a pass
+whose inputs are absent (binary checks on a schedule-only artifact) is
+skipped, so a report's ``passes`` tuple records exactly what ran.
+
+Passes are pure static analyses — nothing here simulates, so verification
+cost is linear in artifact size and safe to run inside compile paths.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .diagnostics import Diagnostic, VerifyReport
+
+#: A verification pass: context in, diagnostics out.
+PassFunc = Callable[["VerifyContext"], List[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class VerifyContext:
+    """Everything one compile produced, as the passes want to see it."""
+
+    schedule: "OverlaySchedule"
+    program: Optional["OverlayProgram"] = None
+    configuration: Optional["ConfigurationImage"] = None
+    spec: Optional["OverlaySpec"] = None
+    key: Optional["CacheKey"] = None
+    warmup_bound_cycles: Optional[int] = None
+
+    @property
+    def dfg(self):
+        return self.schedule.dfg
+
+    @property
+    def overlay(self):
+        return self.schedule.overlay
+
+    @classmethod
+    def from_handle(cls, handle) -> "VerifyContext":
+        """Build a context from a ``CompiledHandle`` (duck-typed: anything
+        exposing ``schedule`` / ``program`` / ``configuration`` works)."""
+        return cls(
+            schedule=handle.schedule,
+            program=getattr(handle, "program", None),
+            configuration=getattr(handle, "configuration", None),
+            spec=getattr(handle, "spec", None),
+            key=getattr(handle, "key", None),
+            warmup_bound_cycles=getattr(handle, "warmup_bound_cycles", None),
+        )
+
+
+@dataclass(frozen=True)
+class VerifyPass:
+    """A registered pass: name, diagnostic-code family, and the check."""
+
+    name: str
+    family: str
+    func: PassFunc
+    #: Attribute names of :class:`VerifyContext` that must be non-None for
+    #: the pass to run; the runner skips the pass otherwise.
+    requires: Tuple[str, ...] = ()
+
+    def applicable(self, ctx: VerifyContext) -> bool:
+        return all(getattr(ctx, attr) is not None for attr in self.requires)
+
+
+_PASSES: "OrderedDict[str, VerifyPass]" = OrderedDict()
+
+
+def register_pass(
+    name: str,
+    func: PassFunc,
+    *,
+    family: str,
+    requires: Sequence[str] = (),
+    replace: bool = False,
+) -> VerifyPass:
+    """Register a verification pass (pass order is registration order)."""
+    if name in _PASSES and not replace:
+        raise ConfigurationError(f"verification pass {name!r} already registered")
+    entry = VerifyPass(name=name, family=family, func=func, requires=tuple(requires))
+    _PASSES[name] = entry
+    return entry
+
+
+def pass_names() -> Tuple[str, ...]:
+    """Names of all registered passes, in execution order."""
+    return tuple(_PASSES)
+
+
+def get_pass(name: str) -> VerifyPass:
+    try:
+        return _PASSES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown verification pass {name!r}; "
+            f"registered: {', '.join(_PASSES)}"
+        ) from None
+
+
+def run_passes(
+    ctx: VerifyContext, passes: Optional[Sequence[str]] = None
+) -> VerifyReport:
+    """Run the (selected) passes over one artifact and report the verdict."""
+    selected = [get_pass(name) for name in passes] if passes is not None else list(
+        _PASSES.values()
+    )
+    ran: List[str] = []
+    diagnostics: List[Diagnostic] = []
+    for entry in selected:
+        if not entry.applicable(ctx):
+            continue
+        ran.append(entry.name)
+        diagnostics.extend(entry.func(ctx))
+    overlay = ctx.overlay
+    scheduler = ctx.key.scheduler if ctx.key is not None else ctx.schedule.scheduler
+    return VerifyReport(
+        kernel=ctx.dfg.name,
+        variant=overlay.variant.name,
+        scheduler=scheduler,
+        passes=tuple(ran),
+        diagnostics=tuple(diagnostics),
+    )
+
+
+def verify_handle(handle, passes: Optional[Sequence[str]] = None) -> VerifyReport:
+    """Verify a compiled handle (convenience wrapper over :func:`run_passes`)."""
+    return run_passes(VerifyContext.from_handle(handle), passes=passes)
+
+
+def _register_builtins() -> None:
+    from . import binary_checks, dfg_checks, regalloc_checks, schedule_checks, spec_checks
+
+    register_pass("dfg", dfg_checks.run, family="DFG")
+    register_pass("schedule", schedule_checks.run, family="SCHED")
+    register_pass("regalloc", regalloc_checks.run, family="REG", requires=("program",))
+    register_pass("binary", binary_checks.run, family="BIN", requires=("program",))
+    register_pass("spec", spec_checks.run, family="SPEC")
+
+
+_register_builtins()

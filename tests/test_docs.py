@@ -27,6 +27,7 @@ REQUIRED_PAGES = [
     os.path.join(DOCS_DIR, "engine.md"),
     os.path.join(DOCS_DIR, "sweeps.md"),
     os.path.join(DOCS_DIR, "tuning.md"),
+    os.path.join(DOCS_DIR, "verify.md"),
 ]
 
 _LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")

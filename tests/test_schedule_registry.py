@@ -54,7 +54,7 @@ from repro.sim.overlay import simulate_schedule
 from repro.specs import OverlaySpec, SimSpec, SweepSpec
 
 ALL_VARIANTS = ("baseline", "v1", "v2", "v3", "v4", "v5")
-STRATEGIES = ("auto", "linear", "clustered", "modulo")
+STRATEGIES = ("auto", "linear", "clustered", "modulo", "alap")
 
 
 def _default_overlay(variant_name, dfg):

@@ -1,0 +1,336 @@
+"""Static verification layer: passes, reports, API and CLI wiring.
+
+Four layers of guarantees:
+
+* **the clean library is clean** — every kernel x variant x scheduler
+  artifact the toolchain produces yields zero diagnostics (fast subset
+  always; the full grid under ``--runslow``);
+* **the diagnostic model round-trips** — ``Diagnostic`` / ``VerifyReport``
+  survive JSON exactly, reject malformed codes and unknown fields;
+* **session wiring** — ``Toolchain.verify`` caches full-suite verdicts on
+  the artifact key, ``compile(check=True)`` raises
+  :class:`~repro.errors.VerificationError` on error diagnostics, and
+  artifacts from third-party scheduler strategies are verified on first
+  compile automatically;
+* **the CLI gate** — ``repro-overlay check`` exits 0 on the clean library
+  and its ``--json`` reports parse back into :class:`VerifyReport`.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Toolchain
+from repro.cli import main
+from repro.engine.cache import ScheduleCache
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleScheduleError,
+    VerificationError,
+)
+from repro.kernels import kernel_names
+from repro.schedule.registry import (
+    is_builtin_scheduler,
+    register_scheduler,
+    schedule_with,
+    unregister_scheduler,
+)
+from repro.specs import OverlaySpec
+from repro.verify import (
+    Diagnostic,
+    Severity,
+    VerifyContext,
+    VerifyReport,
+    get_pass,
+    pass_names,
+    register_pass,
+    run_passes,
+    verify_handle,
+)
+
+ALL_VARIANTS = ("baseline", "v1", "v2", "v3", "v4", "v5")
+STRATEGIES = ("linear", "clustered", "modulo", "alap", "auto")
+FAST_KERNELS = ("gradient", "chebyshev", "poly7")
+
+
+def _grid_points(kernels, variants, schedulers):
+    toolchain = Toolchain(ScheduleCache())
+    for kernel in kernels:
+        for variant in variants:
+            for scheduler in schedulers:
+                spec = OverlaySpec(variant=variant, scheduler=scheduler)
+                try:
+                    handle = toolchain.compile(
+                        kernel, spec, allow_schedule_only=True
+                    )
+                except InfeasibleScheduleError:
+                    continue
+                yield (kernel, variant, scheduler), handle
+
+
+# ---------------------------------------------------------------------------
+# the clean library is clean
+# ---------------------------------------------------------------------------
+class TestCleanLibrary:
+    def test_fast_subset_yields_zero_diagnostics(self):
+        checked = 0
+        for point, handle in _grid_points(
+            FAST_KERNELS, ("baseline", "v1", "v3"), STRATEGIES
+        ):
+            report = verify_handle(handle)
+            assert report.diagnostics == (), (point, report.codes)
+            checked += 1
+        assert checked >= 30
+
+    @pytest.mark.slow
+    def test_full_library_yields_zero_diagnostics(self):
+        checked = 0
+        for point, handle in _grid_points(
+            kernel_names(), ALL_VARIANTS, STRATEGIES
+        ):
+            report = verify_handle(handle)
+            assert report.diagnostics == (), (point, report.codes)
+            checked += 1
+        assert checked >= 200
+
+    def test_schedule_only_artifacts_skip_program_passes(self):
+        # No library kernel currently overflows codegen, so build the
+        # schedule-only shape directly: program-dependent passes must skip.
+        handle = next(_grid_points(("gradient",), ("v1",), ("linear",)))[1]
+        ctx = VerifyContext(
+            schedule=handle.schedule,
+            spec=handle.spec,
+            key=handle.key,
+        )
+        report = run_passes(ctx)
+        assert report.diagnostics == (), report.codes
+        assert "regalloc" not in report.passes
+        assert "binary" not in report.passes
+        assert "schedule" in report.passes
+
+
+# ---------------------------------------------------------------------------
+# diagnostic model
+# ---------------------------------------------------------------------------
+class TestDiagnosticModel:
+    def test_diagnostic_roundtrip_and_rendering(self):
+        diagnostic = Diagnostic(
+            code="SCHED003",
+            severity="error",
+            message="backwards dependence",
+            pass_name="schedule",
+            stage=2,
+            slot=5,
+            node=7,
+        )
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.family == "SCHED"
+        assert Diagnostic.from_dict(diagnostic.to_dict()) == diagnostic
+        assert "stage 2" in str(diagnostic)
+        assert "SCHED003" in str(diagnostic)
+
+    def test_malformed_code_rejected(self):
+        with pytest.raises(ConfigurationError, match="PREFIX000"):
+            Diagnostic(code="sched3", severity="error", message="x")
+
+    def test_report_roundtrips_through_json(self):
+        report = VerifyReport(
+            kernel="gradient",
+            variant="v3",
+            scheduler="clustered",
+            passes=("dfg", "schedule"),
+            diagnostics=(
+                Diagnostic(
+                    code="SCHED006",
+                    severity="error",
+                    message="overflow",
+                    pass_name="schedule",
+                    stage=1,
+                ),
+                Diagnostic(
+                    code="SPEC003", severity="warning", message="no bound"
+                ),
+            ),
+        )
+        restored = VerifyReport.from_json(report.to_json())
+        assert restored == report
+        assert not restored.ok
+        assert restored.codes == ("SCHED006", "SPEC003")
+        assert len(restored.errors) == 1 and len(restored.warnings) == 1
+        assert "FAIL" in restored.summary()
+
+    def test_report_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="bogus"):
+            VerifyReport.from_dict(
+                {"kernel": "k", "variant": "v1", "scheduler": "auto", "bogus": 1}
+            )
+
+    def test_clean_report_is_ok(self):
+        report = VerifyReport(kernel="k", variant="v1", scheduler="auto")
+        assert report.ok and report.codes == ()
+        assert "ok" in report.summary()
+
+
+# ---------------------------------------------------------------------------
+# pass registry
+# ---------------------------------------------------------------------------
+class TestPassRegistry:
+    def test_builtin_passes_registered_in_order(self):
+        assert pass_names() == ("dfg", "schedule", "regalloc", "binary", "spec")
+
+    def test_duplicate_pass_rejected_unless_replaced(self):
+        original = get_pass("dfg")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_pass("dfg", lambda ctx: [], family="DFG")
+        register_pass(
+            "dfg", original.func, family=original.family, replace=True
+        )
+        assert get_pass("dfg").func is original.func
+
+    def test_unknown_pass_selection_fails_loudly(self):
+        handle = next(_grid_points(("gradient",), ("v1",), ("linear",)))[1]
+        ctx = VerifyContext.from_handle(handle)
+        with pytest.raises(ConfigurationError, match="unknown"):
+            run_passes(ctx, passes=["no-such-pass"])
+
+    def test_pass_subset_runs_only_selected(self):
+        handle = next(_grid_points(("gradient",), ("v1",), ("linear",)))[1]
+        report = run_passes(
+            VerifyContext.from_handle(handle), passes=["dfg", "spec"]
+        )
+        assert report.passes == ("dfg", "spec")
+
+
+# ---------------------------------------------------------------------------
+# session wiring
+# ---------------------------------------------------------------------------
+def _swap_first_loads(schedule):
+    """Corrupt a schedule's FIFO discipline in place (test defect)."""
+    for stage in schedule.stages:
+        if stage.num_loads >= 2:
+            order = list(stage.load_order)
+            order[0], order[1] = order[1], order[0]
+            object.__setattr__(stage, "load_order", order)
+            return schedule
+    raise AssertionError("no stage with two loads")
+
+
+class TestToolchainWiring:
+    def test_verify_caches_full_suite_verdicts(self):
+        toolchain = Toolchain(ScheduleCache())
+        handle = toolchain.compile("gradient", OverlaySpec("v3"))
+        first = toolchain.verify(handle)
+        assert first.ok
+        assert toolchain.verify(handle) is first  # verdict cache hit
+        assert toolchain.verify(handle, use_cache=False) is not first
+        toolchain.cache.clear()
+        assert toolchain.cache.get_verdict(handle.key) is None
+
+    def test_pass_subset_verdicts_are_not_cached(self):
+        toolchain = Toolchain(ScheduleCache())
+        handle = toolchain.compile("gradient", OverlaySpec("v1"))
+        toolchain.verify(handle, passes=["dfg"])
+        assert toolchain.cache.get_verdict(handle.key) is None
+
+    def test_compile_check_accepts_clean_artifacts(self):
+        toolchain = Toolchain(ScheduleCache())
+        handle = toolchain.compile("gradient", OverlaySpec("v3"), check=True)
+        assert toolchain.cache.get_verdict(handle.key) is not None
+
+    def test_source_compile_check_accepts_clean_artifacts(self):
+        toolchain = Toolchain(ScheduleCache())
+        handle = toolchain.compile(
+            source="int f(int a, int b) { return a * b + a; }",
+            overlay=OverlaySpec("v1"),
+            name="mini",
+            check=True,
+        )
+        assert toolchain.verify(handle).ok
+
+    def test_builtin_schedulers_skip_auto_verification(self):
+        toolchain = Toolchain(ScheduleCache())
+        handle = toolchain.compile("gradient", OverlaySpec("v1"))
+        assert is_builtin_scheduler(handle.key.scheduler)
+        assert toolchain.cache.get_verdict(handle.key) is None
+
+    def test_third_party_scheduler_verified_on_first_compile(self):
+        register_scheduler(
+            "test-verify-good",
+            lambda dfg, overlay: schedule_with("linear", dfg, overlay),
+        )
+        try:
+            toolchain = Toolchain(ScheduleCache())
+            spec = OverlaySpec("v1", scheduler="test-verify-good")
+            handle = toolchain.compile("gradient", spec)
+            assert not is_builtin_scheduler(handle.key.scheduler)
+            # The clean strategy compiles; its verdict is already cached, so
+            # the warm compile does not re-run the passes.
+            assert toolchain.cache.get_verdict(handle.key) is not None
+            toolchain.compile("gradient", spec)
+        finally:
+            unregister_scheduler("test-verify-good")
+
+    def test_broken_third_party_scheduler_raises_on_compile(self):
+        register_scheduler(
+            "test-verify-bad",
+            lambda dfg, overlay: _swap_first_loads(
+                schedule_with("linear", dfg, overlay)
+            ),
+        )
+        try:
+            toolchain = Toolchain(ScheduleCache())
+            spec = OverlaySpec("v1", scheduler="test-verify-bad")
+            with pytest.raises(VerificationError) as excinfo:
+                toolchain.compile("gradient", spec)
+            assert "SCHED007" in excinfo.value.report.codes
+        finally:
+            unregister_scheduler("test-verify-bad")
+
+    def test_verify_rejects_non_handles(self):
+        with pytest.raises(ConfigurationError, match="handle"):
+            Toolchain(ScheduleCache()).verify("gradient")
+
+
+# ---------------------------------------------------------------------------
+# CLI gate
+# ---------------------------------------------------------------------------
+class TestCheckCommand:
+    def test_check_clean_point_exits_zero(self, capsys):
+        code = main(
+            [
+                "check",
+                "--kernels",
+                "gradient",
+                "--variants",
+                "v1,v3",
+                "--schedulers",
+                "linear,alap",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failing" in out
+
+    def test_check_json_reports_parse_back(self, capsys):
+        code = main(
+            [
+                "check",
+                "--kernels",
+                "gradient",
+                "--variants",
+                "v1",
+                "--schedulers",
+                "linear",
+                "--json",
+            ]
+        )
+        assert code == 0
+        reports = [
+            VerifyReport.from_dict(row)
+            for row in json.loads(capsys.readouterr().out)
+        ]
+        assert reports and all(report.ok for report in reports)
+
+    def test_check_rejects_unknown_names(self, capsys):
+        assert main(["check", "--kernels", "not-a-kernel"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err

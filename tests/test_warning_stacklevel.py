@@ -1,0 +1,76 @@
+"""Deprecation warnings must point at the *caller's* line.
+
+Every compatibility shim keeps working but warns; a wrong ``stacklevel``
+makes Python attribute the warning to the shim's own module, so the user
+sees ``repro/api.py:650: DeprecationWarning`` instead of their call site and
+cannot find what to migrate.  Each test here triggers one shim exactly the
+way user code would and asserts the reported filename is this test file.
+"""
+
+import warnings
+
+from repro.api import map_kernel
+from repro.engine.sweep import SweepPoint, build_grid
+from repro.kernels import get_kernel
+from repro.metrics.performance import evaluate_kernel, overlay_for
+from repro.runtime.manager import OverlayRuntime
+
+
+def _recorded_deprecation(trigger, match):
+    """Run ``trigger`` and return its one matching DeprecationWarning."""
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        trigger()
+    deprecations = [
+        w
+        for w in record
+        if w.category is DeprecationWarning and match in str(w.message)
+    ]
+    assert len(deprecations) == 1, [str(w.message) for w in record]
+    return deprecations[0]
+
+
+def test_map_kernel_depth_override_warns_at_caller():
+    warning = _recorded_deprecation(
+        lambda: map_kernel("gradient", "v1", depth=5), "map_kernel"
+    )
+    assert warning.filename == __file__
+
+
+def test_overlay_runtime_legacy_ctor_warns_at_caller():
+    warning = _recorded_deprecation(
+        lambda: OverlayRuntime("v1", depth=4), "OverlayRuntime"
+    )
+    assert warning.filename == __file__
+
+
+def test_overlay_for_depth_override_warns_at_caller():
+    warning = _recorded_deprecation(
+        lambda: overlay_for("v1", get_kernel("gradient"), fixed_depth=5),
+        "overlay_for",
+    )
+    assert warning.filename == __file__
+
+
+def test_evaluate_kernel_depth_override_warns_at_caller():
+    warning = _recorded_deprecation(
+        lambda: evaluate_kernel(get_kernel("gradient"), "v1", fixed_depth=5),
+        "evaluate_kernel",
+    )
+    assert warning.filename == __file__
+
+
+def test_sweep_point_flat_kwargs_warn_at_caller():
+    warning = _recorded_deprecation(
+        lambda: SweepPoint(kernel="gradient", variant="v1", depth=4),
+        "SweepPoint",
+    )
+    assert warning.filename == __file__
+
+
+def test_build_grid_flat_kwargs_warn_at_caller():
+    warning = _recorded_deprecation(
+        lambda: build_grid(kernels=["gradient"], variants=["v1"], num_blocks=4),
+        "build_grid",
+    )
+    assert warning.filename == __file__
