@@ -31,7 +31,7 @@ import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from .dfg.graph import DFG
 from .dfg.serialize import dfg_fingerprint
@@ -525,6 +525,20 @@ class Toolchain:
                     "pass either a TuneSpec or kernel+knobs, not both"
                 )
         return run_tune(spec, toolchain=self, progress=progress)
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Flat snapshot of this session's compile-cache statistics.
+
+        Works for any injected cache implementation — a plain
+        :class:`~repro.engine.cache.ScheduleCache` or the service's
+        :class:`~repro.engine.cache.ShardedScheduleCache` — which is what
+        lets the overlay service's ``stats`` endpoint report per-tenant
+        cache behaviour through one accessor.
+        """
+        snapshot = self.cache.stats.as_dict()
+        snapshot["entries"] = len(self.cache)
+        snapshot["capacity"] = self.cache.capacity
+        return snapshot
 
     def runtime(
         self,

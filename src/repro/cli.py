@@ -20,6 +20,8 @@
     repro-overlay scalability --variant v1        # Fig. 5 data series
     repro-overlay dot --kernel qspline            # DFG in Graphviz DOT
     repro-overlay cache --stats                   # compile-cache statistics
+    repro-overlay serve --port 7411               # overlay-as-a-service server
+    repro-overlay stats --port 7411 [--json]      # live service statistics
 
 Every sub-command prints plain text to stdout (``--json`` where offered
 switches to machine-readable rows), so the CLI is also how the examples and
@@ -606,6 +608,40 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import OverlayService
+
+    service = OverlayService(
+        capacity=args.capacity,
+        shards=args.shards,
+        max_workers=args.workers,
+        isolated_capacity=args.isolated_capacity,
+        disk_dir=args.disk_dir,
+    )
+    service.serve_forever(host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_service_stats(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+    from .service.stats import render_stats
+
+    try:
+        with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+            snapshot = client.stats()
+    except OSError as error:
+        raise ReproError(
+            f"cannot reach overlay service at {args.host}:{args.port}: {error}"
+        )
+    if args.json:
+        _print_json(snapshot)
+    else:
+        print(f"overlay service at {args.host}:{args.port} "
+              f"(up {snapshot.get('uptime_s', 0.0):.0f}s)")
+        print(render_stats(snapshot))
+    return 0
+
+
 def _cmd_schedulers(args: argparse.Namespace) -> int:
     from .schedule.registry import scheduler_strategies
 
@@ -876,6 +912,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="clear the in-memory caches and the REPRO_CACHE_DIR disk entries",
     )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the overlay compile/simulate service (newline-JSON over "
+        "TCP, multi-tenant; see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7411)
+    p_serve.add_argument(
+        "--capacity", type=int, default=512,
+        help="shared compile-cache capacity in entries (default: 512)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=8,
+        help="shared-cache shard count (default: 8)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool width for request bodies (default: CPU-based)",
+    )
+    p_serve.add_argument(
+        "--isolated-capacity", type=int, default=128,
+        help="private cache capacity for each isolated tenant (default: 128)",
+    )
+    p_serve.add_argument(
+        "--disk-dir", default=None, metavar="DIR",
+        help="persist shared-cache artifacts in DIR (atomic temp+rename "
+        "writes; restarts start warm)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_sstats = sub.add_parser(
+        "stats", help="query a running service's request/cache statistics"
+    )
+    p_sstats.add_argument("--host", default="127.0.0.1")
+    p_sstats.add_argument("--port", type=int, default=7411)
+    p_sstats.add_argument("--timeout", type=float, default=10.0)
+    p_sstats.add_argument("--json", action="store_true", help="emit the raw snapshot")
+    p_sstats.set_defaults(func=_cmd_service_stats)
 
     p_dot = sub.add_parser("dot", help="emit a Graphviz DOT drawing of a kernel DFG")
     p_dot.add_argument("--kernel", required=True, choices=kernel_names())

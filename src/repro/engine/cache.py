@@ -19,7 +19,22 @@ memoises the compiled artifacts:
 * storage is a bounded in-memory **LRU** with an optional on-disk pickle
   layer (``disk_dir=...`` or the ``REPRO_CACHE_DIR`` environment variable)
   so the worker processes of a parallel sweep can share compilations across
-  runs.  Disk writes are atomic (temp file + rename).
+  runs.  Disk writes are atomic (temp file + rename — the same discipline
+  :mod:`repro.engine.store` uses — so a concurrent reader never observes a
+  truncated artifact, even with several writers racing on one key).
+
+Concurrency
+-----------
+:class:`ScheduleCache` is safe for concurrent use from many threads (the
+overlay service hammers one shared instance from a whole thread pool).  All
+bookkeeping runs under one internal lock, and misses **coalesce**: when N
+threads request the same key at once, exactly one runs the compile pipeline
+while the other N-1 block on the in-flight entry and receive the identical
+:class:`CompiledKernel` object (counted in ``stats.coalesced``).  A failed
+in-flight compile propagates its exception to every waiter.  For servers
+that want less lock contention and a bigger artifact pool,
+:class:`ShardedScheduleCache` fronts N independent LRU shards behind the
+same interface, routing each key to one shard by hash.
 
 End-to-end chain
 ----------------
@@ -140,12 +155,17 @@ class CacheStats:
     evictions: int = 0
     source_hits: int = 0
     schedule_hits: int = 0
+    #: Lookups that blocked on another thread's in-flight compile of the
+    #: same key and received its artifact — the pipeline ran once, not N
+    #: times.  Counted separately from ``hits``/``misses`` so the
+    #: single-threaded accounting is unchanged.
+    coalesced: int = 0
 
     @property
     def lookups(self) -> int:
         return (
             self.hits + self.misses + self.disk_hits + self.source_hits
-            + self.schedule_hits
+            + self.schedule_hits + self.coalesced
         )
 
     @property
@@ -155,7 +175,51 @@ class CacheStats:
             return 0.0
         return (
             self.hits + self.disk_hits + self.source_hits + self.schedule_hits
+            + self.coalesced
         ) / lookups
+
+    def as_dict(self) -> dict:
+        """Flat dict snapshot (service ``stats`` endpoint, CLI views)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "source_hits": self.source_hits,
+            "schedule_hits": self.schedule_hits,
+            "coalesced": self.coalesced,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+    @classmethod
+    def merged(cls, parts: "list[CacheStats]") -> "CacheStats":
+        """Field-wise sum of several stats (a sharded cache's aggregate)."""
+        total = cls()
+        for part in parts:
+            total.hits += part.hits
+            total.misses += part.misses
+            total.disk_hits += part.disk_hits
+            total.evictions += part.evictions
+            total.source_hits += part.source_hits
+            total.schedule_hits += part.schedule_hits
+            total.coalesced += part.coalesced
+        return total
+
+
+class _InflightCompile:
+    """One in-flight compile of a cache key: the leader's result or error.
+
+    Waiters block on ``event`` and then read exactly one of ``result`` /
+    ``error`` — both are written before the event is set.
+    """
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[CompiledKernel] = None
+        self.error: Optional[BaseException] = None
 
 
 class ScheduleCache:
@@ -178,6 +242,9 @@ class ScheduleCache:
         #: by compile key, so warm compile paths never re-run the passes.
         #: Verdicts live and die with the entries: ``clear()`` drops them.
         self._verdicts: "OrderedDict[CacheKey, object]" = OrderedDict()
+        #: In-flight compiles by key: concurrent misses on one key coalesce
+        #: onto a single pipeline run (see the module docstring).
+        self._inflight: "dict[CacheKey, _InflightCompile]" = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -269,7 +336,15 @@ class ScheduleCache:
         except CodegenError:
             # Reschedule once (the failed compile's schedule is out of reach)
             # and memoise it; this path runs at most once per (kernel,
-            # overlay) pair per cache lifetime.
+            # overlay) pair per cache lifetime.  A racing thread may have
+            # memoised it while we waited on the coalesced compile, so
+            # re-check before rescheduling.
+            with self._lock:
+                schedule = self._schedule_index.get(key)
+                if schedule is not None:
+                    self._schedule_index.move_to_end(key)
+                    self.stats.schedule_hits += 1
+                    return schedule
             schedule = schedule_kernel(dfg, overlay, scheduler=key.scheduler)
             with self._lock:
                 self.stats.misses += 1
@@ -330,6 +405,19 @@ class ScheduleCache:
                 self._source_index.popitem(last=False)
         return compiled
 
+    def peek(self, key: CacheKey) -> Optional[CompiledKernel]:
+        """The cached entry for ``key`` (LRU-touched, no stats), or None.
+
+        Pure lookup for layers that do their own accounting — the sharded
+        cache's source index uses it so a source fast-path hit is counted
+        exactly once.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+            return cached
+
     def _get_or_compile_keyed(
         self, key: CacheKey, dfg: DFG, overlay: LinearOverlay
     ) -> CompiledKernel:
@@ -339,6 +427,40 @@ class ScheduleCache:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 return cached
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _InflightCompile()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            # Another thread is compiling this exact key right now: wait for
+            # it and share its artifact instead of running the pipeline again.
+            flight.event.wait()
+            with self._lock:
+                self.stats.coalesced += 1
+            if flight.error is not None:
+                raise flight.error
+            assert flight.result is not None
+            return flight.result
+        try:
+            compiled = self._compile_miss(key, dfg, overlay)
+        except BaseException as error:
+            flight.error = error
+            raise
+        else:
+            flight.result = compiled
+            return compiled
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+
+    def _compile_miss(
+        self, key: CacheKey, dfg: DFG, overlay: LinearOverlay
+    ) -> CompiledKernel:
+        """Disk lookup, then the full mapping pipeline (the leader's path)."""
         from_disk = self._load_from_disk(key)
         if from_disk is not None:
             with self._lock:
@@ -413,6 +535,159 @@ class ScheduleCache:
             # The disk layer is best-effort: a read-only or full filesystem
             # must never break compilation itself.
             return
+
+
+class ShardedScheduleCache:
+    """N independent :class:`ScheduleCache` shards behind one cache interface.
+
+    The overlay service serves every tenant from one shared compile cache;
+    a single lock (and a single LRU) would serialise the whole thread pool
+    on it.  This wrapper routes each :class:`CacheKey` to one of ``shards``
+    independent LRU shards by hash, so threads compiling *different* keys
+    never contend on one lock, while threads compiling the *same* key land
+    on the same shard and coalesce onto a single pipeline run.
+
+    The interface matches :class:`ScheduleCache` everywhere the
+    :class:`~repro.api.Toolchain` touches it (``get_or_compile_keyed``,
+    ``get_schedule``, ``get_or_compile_source``, verdict storage,
+    ``capacity``/``stats``/``clear``/``len``), so it drops into
+    ``Toolchain(cache=...)`` unchanged.  ``capacity`` is the *total* bound:
+    each shard holds ``ceil(capacity / shards)`` entries.
+
+    The source index (source-hash -> key fast path) lives on the wrapper —
+    routing it into a shard by source hash could land the compiled entry in
+    a different shard than the key-addressed path would use, silently
+    duplicating artifacts.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        shards: int = 8,
+        disk_dir: Optional[str] = None,
+    ):
+        if shards < 1:
+            raise ValueError("a sharded cache needs at least one shard")
+        if capacity < shards:
+            raise ValueError(
+                f"capacity {capacity} is below one entry per shard ({shards})"
+            )
+        per_shard = -(-capacity // shards)  # ceil division
+        self.num_shards = shards
+        self.disk_dir = disk_dir if disk_dir is not None else os.environ.get("REPRO_CACHE_DIR")
+        self._shards = [
+            ScheduleCache(capacity=per_shard, disk_dir=self.disk_dir)
+            for _ in range(shards)
+        ]
+        self._source_index: "OrderedDict[Tuple, CacheKey]" = OrderedDict()
+        self._source_stats = CacheStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Total entry bound across every shard."""
+        return sum(shard.capacity for shard in self._shards)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated statistics (shard sums plus the wrapper's source hits)."""
+        merged = CacheStats.merged([shard.stats for shard in self._shards])
+        with self._lock:
+            merged.source_hits += self._source_stats.source_hits
+        return merged
+
+    def shard_stats(self) -> "list[CacheStats]":
+        """Per-shard statistics (observability: spot a hot shard)."""
+        return [shard.stats for shard in self._shards]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def clear(self) -> None:
+        """Drop every shard's entries and the wrapper's source index."""
+        for shard in self._shards:
+            shard.clear()
+        with self._lock:
+            self._source_index.clear()
+            self._source_stats = CacheStats()
+
+    def _shard(self, key: CacheKey) -> ScheduleCache:
+        return self._shards[hash(key) % self.num_shards]
+
+    # ------------------------------------------------------------------
+    def get_or_compile(
+        self, dfg: DFG, overlay: LinearOverlay, scheduler: str = "auto"
+    ) -> CompiledKernel:
+        key = CacheKey.for_mapping(dfg, overlay, scheduler)
+        return self._shard(key).get_or_compile_keyed(key, dfg, overlay)
+
+    def get_or_compile_keyed(
+        self, key: CacheKey, dfg: DFG, overlay: LinearOverlay
+    ) -> CompiledKernel:
+        return self._shard(key).get_or_compile_keyed(key, dfg, overlay)
+
+    def get_schedule(
+        self, dfg: DFG, overlay: LinearOverlay, scheduler: str = "auto"
+    ) -> OverlaySchedule:
+        key = CacheKey.for_mapping(dfg, overlay, scheduler)
+        return self._shard(key).get_schedule(dfg, overlay, scheduler)
+
+    def get_verdict(self, key: CacheKey):
+        return self._shard(key).get_verdict(key)
+
+    def store_verdict(self, key: CacheKey, report) -> None:
+        self._shard(key).store_verdict(key, report)
+
+    def get_or_compile_source(
+        self,
+        source: str,
+        overlay: LinearOverlay,
+        name: Optional[str] = None,
+        run_optimizer: bool = True,
+        scheduler: str = "auto",
+    ) -> CompiledKernel:
+        """Source fast path, then key-routed shard compile (cf. the shard's).
+
+        A warm hit resolves the source index on the wrapper, then fetches
+        the entry from the owning shard without re-lowering or re-hashing
+        anything.  If the shard has since evicted the entry, the call falls
+        through the frontend cache exactly like a cold one.
+        """
+        from ..frontend.cache import default_frontend_cache
+        from ..frontend.lexer import source_hash
+        from ..schedule.registry import resolve_strategy_name
+
+        scheduler = resolve_strategy_name(scheduler, overlay)
+        skey = (
+            source_hash(source),
+            name,
+            run_optimizer,
+            overlay.variant.name,
+            overlay.depth,
+            overlay.fixed_depth,
+            overlay.fifo_depth,
+            scheduler,
+        )
+        with self._lock:
+            key = self._source_index.get(skey)
+            if key is not None:
+                self._source_index.move_to_end(skey)
+        if key is not None:
+            cached = self._shard(key).peek(key)
+            if cached is not None:
+                with self._lock:
+                    self._source_stats.source_hits += 1
+                return cached
+        dfg = default_frontend_cache().dfg(source, name=name, run_optimizer=run_optimizer)
+        key = CacheKey.for_mapping(dfg, overlay, scheduler)
+        compiled = self._shard(key).get_or_compile_keyed(key, dfg, overlay)
+        with self._lock:
+            self._source_index[skey] = key
+            self._source_index.move_to_end(skey)
+            while len(self._source_index) > 4 * self.capacity:
+                self._source_index.popitem(last=False)
+        return compiled
 
 
 _DEFAULT_CACHE: Optional[ScheduleCache] = None

@@ -45,6 +45,7 @@ import abc
 import hashlib
 import json
 import math
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -336,6 +337,11 @@ DEFAULT_MODEL = "analytic"
 
 _REGISTRY: Dict[str, ModelEntry] = {}
 
+#: Serialises registry mutation and lookup, mirroring the scheduler
+#: registry: a server worker racing a ``register_model`` call must never
+#: observe a half-updated registry.
+_REGISTRY_LOCK = threading.RLock()
+
 
 def register_model(
     name: str,
@@ -363,15 +369,16 @@ def register_model(
         raise ConfigurationError("performance-model names must be non-empty strings")
 
     def _register(f: ModelFactory) -> ModelFactory:
-        if name in _REGISTRY and not replace:
-            raise ConfigurationError(
-                f"performance model {name!r} is already registered "
-                "(pass replace=True to override it)"
-            )
         desc = description
         if not desc and f.__doc__:
             desc = f.__doc__.strip().splitlines()[0]
-        _REGISTRY[name] = ModelEntry(name=name, factory=f, description=desc)
+        with _REGISTRY_LOCK:
+            if name in _REGISTRY and not replace:
+                raise ConfigurationError(
+                    f"performance model {name!r} is already registered "
+                    "(pass replace=True to override it)"
+                )
+            _REGISTRY[name] = ModelEntry(name=name, factory=f, description=desc)
         return f
 
     if factory is not None:
@@ -386,7 +393,8 @@ def unregister_model(name: str) -> None:
         raise ConfigurationError(
             f"the built-in performance model {name!r} cannot be unregistered"
         )
-    _REGISTRY.pop(name, None)
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
 
 
 def get_model(name: str) -> PerformanceModel:
@@ -395,7 +403,8 @@ def get_model(name: str) -> PerformanceModel:
     Fresh per call so fitted state never leaks between sessions; unknown
     names fail loudly with the registered alternatives.
     """
-    entry = _REGISTRY.get(name)
+    with _REGISTRY_LOCK:
+        entry = _REGISTRY.get(name)
     if entry is None:
         raise ConfigurationError(
             f"unknown performance model {name!r}; "
@@ -419,12 +428,14 @@ def resolve_model(model: Union[str, PerformanceModel]) -> PerformanceModel:
 
 def model_names() -> List[str]:
     """Names of every registered model (built-ins first, then custom)."""
-    return list(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY)
 
 
 def model_entries() -> List[ModelEntry]:
     """Every registered model entry (CLI listings)."""
-    return list(_REGISTRY.values())
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY.values())
 
 
 def _register_builtins() -> None:

@@ -35,6 +35,7 @@ it immediately becomes selectable from every layer.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -100,6 +101,11 @@ DEFAULT_SCHEDULER = "auto"
 
 _REGISTRY: Dict[str, SchedulerStrategy] = {}
 
+#: Serialises registry mutation and lookup: a server worker racing a
+#: ``register_scheduler`` call must never observe a half-updated registry
+#: (check-then-insert is two steps, and listings snapshot under the lock).
+_REGISTRY_LOCK = threading.RLock()
+
 
 def register_scheduler(
     name: str,
@@ -128,17 +134,18 @@ def register_scheduler(
         raise ConfigurationError("scheduler strategy names must be non-empty strings")
 
     def _register(f: Scheduler) -> Scheduler:
-        if name in _REGISTRY and not replace:
-            raise ConfigurationError(
-                f"scheduler strategy {name!r} is already registered "
-                "(pass replace=True to override it)"
-            )
         desc = description
         if not desc and f.__doc__:
             desc = f.__doc__.strip().splitlines()[0]
-        _REGISTRY[name] = SchedulerStrategy(
-            name=name, func=f, description=desc, folds_levels=folds_levels
-        )
+        with _REGISTRY_LOCK:
+            if name in _REGISTRY and not replace:
+                raise ConfigurationError(
+                    f"scheduler strategy {name!r} is already registered "
+                    "(pass replace=True to override it)"
+                )
+            _REGISTRY[name] = SchedulerStrategy(
+                name=name, func=f, description=desc, folds_levels=folds_levels
+            )
         return f
 
     if func is not None:
@@ -153,7 +160,8 @@ def unregister_scheduler(name: str) -> None:
         raise ConfigurationError(
             f"the built-in scheduler strategy {name!r} cannot be unregistered"
         )
-    _REGISTRY.pop(name, None)
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
 
 
 def get_scheduler(name: str) -> SchedulerStrategy:
@@ -164,7 +172,8 @@ def get_scheduler(name: str) -> SchedulerStrategy:
     ConfigurationError
         For unknown names, listing the registered strategies.
     """
-    strategy = _REGISTRY.get(name)
+    with _REGISTRY_LOCK:
+        strategy = _REGISTRY.get(name)
     if strategy is None:
         raise ConfigurationError(
             f"unknown scheduler strategy {name!r}; "
@@ -175,12 +184,14 @@ def get_scheduler(name: str) -> SchedulerStrategy:
 
 def scheduler_names() -> List[str]:
     """Names of every registered strategy (built-ins first, then custom)."""
-    return list(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY)
 
 
 def scheduler_strategies() -> List[SchedulerStrategy]:
     """Every registered strategy descriptor (``schedulers`` listing)."""
-    return list(_REGISTRY.values())
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY.values())
 
 
 def schedule_with(
@@ -219,7 +230,7 @@ def _register_builtins() -> None:
     def _auto(dfg: DFG, overlay: LinearOverlay) -> OverlaySchedule:
         # Defined through resolve_strategy_name so the dispatch and the
         # cache-key canonicalisation can never drift apart.
-        return _REGISTRY[resolve_strategy_name("auto", overlay)].func(dfg, overlay)
+        return get_scheduler(resolve_strategy_name("auto", overlay)).func(dfg, overlay)
 
     register_scheduler(
         "auto",

@@ -1,0 +1,244 @@
+"""In-repo clients for the overlay service.
+
+Two transports behind one calling surface:
+
+* :class:`ServiceClient` — a blocking TCP client speaking the
+  newline-delimited JSON protocol (what an external consumer would write);
+* :class:`InProcessClient` — the same surface calling
+  :meth:`~repro.service.server.OverlayService.handle` directly, for tests
+  and benchmarks that want the protocol semantics without a socket.
+
+Both raise :class:`~repro.service.protocol.ServiceError` carrying the
+server's stable error code when a request fails, and return the bare
+``result`` payload when it succeeds.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Dict, Optional
+
+from ..specs import OverlaySpec, SimSpec, spec_to_wire
+from .protocol import (
+    E_INTERNAL,
+    E_PROTOCOL,
+    PROTOCOL_VERSION,
+    ServiceError,
+    encode_line,
+)
+
+
+class _BaseClient:
+    """Request construction + response unwrapping shared by both transports."""
+
+    def __init__(self, tenant: str = "default", isolated: bool = False):
+        self.tenant = tenant
+        self.isolated = isolated
+        self._ids = itertools.count(1)
+
+    # -- transport hook -------------------------------------------------
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # -- generic request ------------------------------------------------
+    def request(self, op: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Send one request; return its ``result`` or raise ServiceError."""
+        request_id = next(self._ids)
+        payload = {
+            "op": op,
+            "version": PROTOCOL_VERSION,
+            "id": request_id,
+            "tenant": self.tenant,
+            "isolated": self.isolated,
+            "params": params or {},
+        }
+        response = self._roundtrip(payload)
+        if not isinstance(response, dict):
+            raise ServiceError(E_PROTOCOL, "malformed response from server")
+        if response.get("id") != request_id:
+            raise ServiceError(
+                E_PROTOCOL,
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}",
+            )
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServiceError(
+            error.get("code", E_INTERNAL), error.get("message", "request failed")
+        )
+
+    # -- convenience wrappers ------------------------------------------
+    @staticmethod
+    def _compile_params(
+        kernel: Optional[str],
+        overlay: Optional[OverlaySpec],
+        source: Optional[str],
+        name: Optional[str],
+        **flags: bool,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {}
+        if kernel is not None:
+            params["kernel"] = kernel
+        if source is not None:
+            params["source"] = source
+        if name is not None:
+            params["name"] = name
+        if overlay is not None:
+            params["overlay"] = spec_to_wire(overlay)
+        for key, value in flags.items():
+            if value:
+                params[key] = True
+        return params
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def compile(
+        self,
+        kernel: Optional[str] = None,
+        overlay: Optional[OverlaySpec] = None,
+        *,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+        allow_schedule_only: bool = False,
+        check: bool = False,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "compile",
+            self._compile_params(
+                kernel,
+                overlay,
+                source,
+                name,
+                allow_schedule_only=allow_schedule_only,
+                check=check,
+            ),
+        )
+
+    def evaluate(
+        self,
+        kernel: Optional[str] = None,
+        overlay: Optional[OverlaySpec] = None,
+        *,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+        sim: Optional[SimSpec] = None,
+    ) -> Dict[str, Any]:
+        params = self._compile_params(kernel, overlay, source, name)
+        if sim is not None:
+            params["sim"] = spec_to_wire(sim)
+        return self.request("evaluate", params)
+
+    def simulate(
+        self,
+        kernel: Optional[str] = None,
+        overlay: Optional[OverlaySpec] = None,
+        *,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+        sim: Optional[SimSpec] = None,
+        include_outputs: bool = False,
+    ) -> Dict[str, Any]:
+        params = self._compile_params(
+            kernel, overlay, source, name, include_outputs=include_outputs
+        )
+        if sim is not None:
+            params["sim"] = spec_to_wire(sim)
+        return self.request("simulate", params)
+
+    def verify(
+        self,
+        kernel: Optional[str] = None,
+        overlay: Optional[OverlaySpec] = None,
+        *,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        return self.request("verify", self._compile_params(kernel, overlay, source, name))
+
+    def schedulers(self) -> Any:
+        return self.request("schedulers")
+
+    def models(self) -> Any:
+        return self.request("models")
+
+    def kernels(self) -> Any:
+        return self.request("kernels")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+
+class InProcessClient(_BaseClient):
+    """The client surface over an in-process :class:`OverlayService`."""
+
+    def __init__(self, service, tenant: str = "default", isolated: bool = False):
+        super().__init__(tenant=tenant, isolated=isolated)
+        self.service = service
+
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self.service.handle(payload)
+
+
+class ServiceClient(_BaseClient):
+    """A blocking newline-JSON TCP client (one connection, lazy connect).
+
+    Usable as a context manager; safe to call from one thread at a time
+    (requests are strictly request/response ordered on the connection —
+    use one client per thread for concurrent load).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7411,
+        *,
+        tenant: str = "default",
+        isolated: bool = False,
+        timeout: float = 30.0,
+    ):
+        super().__init__(tenant=tenant, isolated=isolated)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rb")
+
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        import json
+
+        self._connect()
+        assert self._sock is not None and self._file is not None
+        self._sock.sendall(encode_line(payload))
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(E_PROTOCOL, "server closed the connection")
+        try:
+            return json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ServiceError(E_PROTOCOL, f"malformed response frame: {error}")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        self._connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -665,6 +665,59 @@ class TuneResult:
         return cls.from_dict(json.loads(text))
 
 
+# ---------------------------------------------------------------------------
+# wire envelopes — the service protocol's tagged spec round trip
+# ---------------------------------------------------------------------------
+#: Wire tag -> spec class.  The overlay service embeds spec objects in JSON
+#: requests/responses as ``{"type": tag, "data": {...}}`` so a payload is
+#: self-describing; both directions go through the exact ``to_dict`` /
+#: ``from_dict`` round trip the specs already guarantee.
+WIRE_SPEC_TYPES: Dict[str, type] = {
+    "overlay": OverlaySpec,
+    "sim": SimSpec,
+    "sweep": SweepSpec,
+    "tune": TuneSpec,
+}
+
+
+def spec_to_wire(spec: object) -> Dict[str, Any]:
+    """The tagged wire envelope ``{"type": ..., "data": ...}`` of a spec."""
+    for tag, cls in WIRE_SPEC_TYPES.items():
+        if type(spec) is cls:
+            return {"type": tag, "data": spec.to_dict()}  # type: ignore[attr-defined]
+    raise ConfigurationError(
+        f"{type(spec).__name__} is not a wire-serialisable spec; "
+        f"supported: {', '.join(sorted(WIRE_SPEC_TYPES))}"
+    )
+
+
+def spec_from_wire(payload: Dict[str, Any]) -> object:
+    """Rebuild a spec object from its tagged wire envelope.
+
+    Raises :class:`~repro.errors.ConfigurationError` on a malformed
+    envelope, an unknown tag, or invalid spec fields — the service maps all
+    three onto its stable ``E_PARAMS`` error code.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"a wire spec must be an object, got {type(payload).__name__}"
+        )
+    tag = payload.get("type")
+    cls = WIRE_SPEC_TYPES.get(tag) if isinstance(tag, str) else None
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown wire spec type {tag!r}; "
+            f"supported: {', '.join(sorted(WIRE_SPEC_TYPES))}"
+        )
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"wire spec {tag!r} needs an object 'data' field, "
+            f"got {type(data).__name__}"
+        )
+    return cls.from_dict(data)
+
+
 def _checked_fields(cls, data: Dict[str, Any]) -> Dict[str, Any]:
     """Reject unknown keys so a typo in stored JSON fails loudly."""
     known = {f.name for f in fields(cls)}

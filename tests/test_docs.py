@@ -25,6 +25,7 @@ REQUIRED_PAGES = [
     os.path.join(DOCS_DIR, "architecture.md"),
     os.path.join(DOCS_DIR, "compiler.md"),
     os.path.join(DOCS_DIR, "engine.md"),
+    os.path.join(DOCS_DIR, "service.md"),
     os.path.join(DOCS_DIR, "sweeps.md"),
     os.path.join(DOCS_DIR, "tuning.md"),
     os.path.join(DOCS_DIR, "verify.md"),

@@ -308,3 +308,69 @@ class TestCLI:
     def test_tune_unknown_model_is_a_parse_error(self, capsys):
         with pytest.raises(SystemExit):
             main(["tune", "--kernel", "gradient", "--model", "bogus"])
+
+
+# ---------------------------------------------------------------------------
+# registry concurrency (the service PR: workers race user registrations)
+# ---------------------------------------------------------------------------
+class TestRegistryConcurrency:
+    def test_parallel_distinct_registrations_all_land(self):
+        import threading
+
+        names = [f"conc_model_{i}" for i in range(16)]
+        barrier = threading.Barrier(len(names))
+        errors = []
+
+        def worker(name):
+            barrier.wait()
+            try:
+                register_model(name, AnalyticModel, description=name)
+            except BaseException as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in names]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            registered = model_names()
+            for name in names:
+                assert name in registered
+                assert isinstance(get_model(name), AnalyticModel)
+        finally:
+            for name in names:
+                unregister_model(name)
+        assert not set(names) & set(model_names())
+
+    def test_parallel_same_name_registration_has_one_winner(self):
+        import threading
+
+        K = 12
+        barrier = threading.Barrier(K)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                register_model("conc_model_dup", AnalyticModel)
+            except ConfigurationError:
+                with lock:
+                    outcomes.append("lost")
+            else:
+                with lock:
+                    outcomes.append("won")
+
+        threads = [threading.Thread(target=worker) for _ in range(K)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert outcomes.count("won") == 1
+            assert outcomes.count("lost") == K - 1
+            assert "conc_model_dup" in model_names()
+        finally:
+            unregister_model("conc_model_dup")

@@ -24,6 +24,7 @@ SRC = os.path.join(REPO_ROOT, "src", "repro")
 SCOPE = [
     os.path.join(SRC, "specs.py"),
     os.path.join(SRC, "schedule", "registry.py"),
+    os.path.join(SRC, "service"),
     os.path.join(SRC, "verify"),
 ]
 

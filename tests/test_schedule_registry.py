@@ -466,3 +466,105 @@ class TestSatelliteRegressions:
 
         with pytest.raises(InfeasibleScheduleError):
             asap_assignment(gradient, num_stages=0)
+
+
+# ---------------------------------------------------------------------------
+# registry concurrency (the service PR: workers race user registrations)
+# ---------------------------------------------------------------------------
+class TestRegistryConcurrency:
+    def test_parallel_distinct_registrations_all_land(self):
+        import threading
+
+        names = [f"conc_sched_{i}" for i in range(16)]
+        barrier = threading.Barrier(len(names))
+        errors = []
+
+        def worker(name):
+            barrier.wait()
+            try:
+                register_scheduler(name, schedule_linear, description=name)
+            except BaseException as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in names]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            registered = scheduler_names()
+            for name in names:
+                assert name in registered
+                assert get_scheduler(name).description == name
+        finally:
+            for name in names:
+                unregister_scheduler(name)
+        assert not set(names) & set(scheduler_names())
+
+    def test_parallel_same_name_registration_has_one_winner(self):
+        import threading
+
+        K = 12
+        barrier = threading.Barrier(K)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                register_scheduler("conc_sched_dup", schedule_linear)
+            except ConfigurationError:
+                with lock:
+                    outcomes.append("lost")
+            else:
+                with lock:
+                    outcomes.append("won")
+
+        threads = [threading.Thread(target=worker) for _ in range(K)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert outcomes.count("won") == 1
+            assert outcomes.count("lost") == K - 1
+            assert "conc_sched_dup" in scheduler_names()
+        finally:
+            unregister_scheduler("conc_sched_dup")
+
+    def test_lookups_race_registration_without_tearing(self):
+        import threading
+
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                register_scheduler("conc_sched_churn", schedule_linear, replace=True)
+                unregister_scheduler("conc_sched_churn")
+
+        def read():
+            while not stop.is_set():
+                try:
+                    names = scheduler_names()
+                    assert isinstance(names, list)
+                    for strategy in scheduler_strategies():
+                        assert strategy.name
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        workers = [threading.Thread(target=churn) for _ in range(2)] + [
+            threading.Thread(target=read) for _ in range(2)
+        ]
+        for thread in workers:
+            thread.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for thread in workers:
+            thread.join(timeout=30)
+        unregister_scheduler("conc_sched_churn")
+        assert not errors
