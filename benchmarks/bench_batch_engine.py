@@ -1,0 +1,122 @@
+"""Batched-engine gate: whole-loop codegen + lane batching vs the fast engine.
+
+The batched engine's headline scenario is long-stream multi-lane sweeps on
+the write-back overlays: timing is value-independent, so a lane-parallel
+variant needs only one steady-state timing run per *distinct lane length*
+(round-robin dealing yields at most two), while the value plane evaluates
+the whole stream as vectorized numpy columns.  This harness runs exactly
+that — deep kernels on dual-lane V3/V4/V5 at depth 8 — with both engines
+and **gates a >= 3x aggregate speedup** of the batched engine over the fast
+engine, recording the ratio as ``batch_engine_speedup`` into
+``BENCH_results.json`` next to the wall-clock timings.
+
+The two engines must also produce bit-identical results — the gate is only
+meaningful if batching changes nothing observable.  (Requires numpy, the
+``[batch]`` extra; the harness skips without it.)
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.engine.batchsim import BatchSimulator, plan_for
+from repro.engine.cache import default_cache
+from repro.engine.fastsim import FastSimulator
+from repro.kernels import get_kernel
+from repro.kernels.reference import random_input_blocks
+from repro.overlay.architecture import LinearOverlay
+from repro.overlay.fu import get_variant
+
+#: kernel x variant points of the multi-lane sweep: deep kernels where the
+#: write-back overlays keep inter-stage FIFOs busy for thousands of cycles.
+POINTS = (
+    ("poly7", "v3"),
+    ("poly7", "v4"),
+    ("qspline", "v5"),
+)
+OVERLAY_DEPTH = 8
+FIFO_DEPTH = 8
+LANES = 2
+#: Long-stream regime (the service/sweep workload the engine targets).
+NUM_BLOCKS = 6000
+#: The gate: batched must beat the fast engine by at least this factor.
+MIN_SPEEDUP = 3.0
+ROUNDS = 3
+
+COMPARED_FIELDS = (
+    "outputs",
+    "completion_cycles",
+    "total_cycles",
+    "measured_ii",
+    "latency_cycles",
+    "fu_stats",
+    "fifo_high_water",
+    "rf_high_water",
+    "rf_per_block_high_water",
+)
+
+
+def _cases():
+    cases = []
+    for name, variant_name in POINTS:
+        # Only stock V2 is dual-lane; the sweep's lane axis widens the
+        # write-back variants the same way the paper scales throughput.
+        variant = dataclasses.replace(get_variant(variant_name), lanes=LANES)
+        dfg = get_kernel(name)
+        overlay = LinearOverlay.fixed(variant, OVERLAY_DEPTH, fifo_depth=FIFO_DEPTH)
+        schedule = default_cache().get_or_compile(dfg, overlay).schedule
+        plan_for(schedule)  # loop codegen is a compile artifact, not runtime
+        blocks = random_input_blocks(schedule.dfg, NUM_BLOCKS, seed=17)
+        cases.append((name, variant_name, schedule, blocks))
+    return cases
+
+
+def _time_point(schedule, blocks, make_simulator):
+    """Best-of-ROUNDS wall clock for one point (noise hits rounds, not sums)."""
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        simulator = make_simulator(schedule)
+        started = time.perf_counter()
+        result = simulator.run(blocks)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_batch_engine_speedup_gate(save_result, record_metric):
+    cases = _cases()
+    # Warm both code paths once, then take the per-point best of a few
+    # rounds so the gate measures the engines, not allocator noise; the
+    # timed results double as the bit-identity cross-check.
+    fast_s = 0.0
+    batched_s = 0.0
+    for name, variant, schedule, blocks in cases:
+        FastSimulator(schedule).run(blocks)
+        BatchSimulator(schedule).run(blocks)
+        point_fast_s, fast = _time_point(schedule, blocks, FastSimulator)
+        point_batched_s, batched = _time_point(schedule, blocks, BatchSimulator)
+        fast_s += point_fast_s
+        batched_s += point_batched_s
+        for field in COMPARED_FIELDS:
+            assert getattr(batched, field) == getattr(fast, field), (
+                f"{name}/{variant}: engines disagree on {field}"
+            )
+
+    speedup = fast_s / batched_s
+    lines = [
+        f"long-stream multi-lane sweep: depth-{OVERLAY_DEPTH} V3-V5, "
+        f"lanes={LANES}, fifo_depth={FIFO_DEPTH}, "
+        f"{NUM_BLOCKS} blocks/point, {len(cases)} points",
+        f"  fast engine   : {fast_s:8.4f} s",
+        f"  batched engine: {batched_s:8.4f} s",
+        f"  speedup       : {speedup:8.2f}x (gate: >= {MIN_SPEEDUP}x)",
+    ]
+    save_result("batch_engine", "\n".join(lines))
+    record_metric("batch_engine_speedup", speedup)
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched engine only {speedup:.2f}x faster than the fast engine "
+        f"(gate {MIN_SPEEDUP}x) on the long-stream multi-lane sweep"
+    )

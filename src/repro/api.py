@@ -456,6 +456,12 @@ class Toolchain:
         """
         if not isinstance(handle, CompiledHandle):
             raise ConfigurationError("simulate() takes a handle from compile()")
+        if sim.engine == "batched":
+            # Attach the loop codegen to the cache entry so every batched
+            # run of this artifact — this session or any other sharing the
+            # cache — reuses one compiled plan (built lazily, dropped from
+            # pickles; see CompiledKernel.batch_plan).
+            self.cache.get_batch_plan(handle.key)
         return simulate_schedule_with(handle.schedule, sim)
 
     # ------------------------------------------------------------------
@@ -654,8 +660,10 @@ def map_kernel(
         II / latency).
     engine:
         Simulation engine for ``simulate=True``: ``"cycle"`` (the
-        cycle-accurate reference) or ``"fast"`` (the event-driven engine of
-        :mod:`repro.engine.fastsim`, identical results).
+        cycle-accurate reference), ``"fast"`` (the event-driven engine of
+        :mod:`repro.engine.fastsim`, identical results) or ``"batched"``
+        (the codegen/vectorized engine of :mod:`repro.engine.batchsim`,
+        identical results; needs the optional numpy ``[batch]`` extra).
     """
     toolchain = default_toolchain()
     spec = OverlaySpec(variant=variant, depth=depth)

@@ -97,7 +97,8 @@ def add_sim_args(
         "--engine",
         default=default_engine,
         choices=ENGINES,
-        help="simulation core: cycle-accurate reference or the fast event-driven engine",
+        help="simulation core: cycle-accurate reference, the fast event-driven "
+        "engine, or the batched codegen engine (needs the numpy [batch] extra)",
     )
     parser.add_argument(
         "--detector",

@@ -197,6 +197,39 @@ OP_EXPRESSIONS.update({
 })
 
 
+#: Vectorized (numpy) variants of :data:`OP_EXPRESSIONS`: the same operation
+#: applied element-wise to whole ``int64`` arrays of per-block operand values
+#: (``np`` must be bound in the evaluation namespace).  Used by the batched
+#: engine (:mod:`repro.engine.batchsim`) to evaluate every input block of a
+#: stream in one expression instead of one Python statement per block.  The
+#: templates stay exact for operands in the signed 32-bit range: every
+#: intermediate is bounded by ``2**62 + 2**31`` (worst case MULADD of two
+#: wrapped operands), which fits ``int64`` without overflow, and the caller
+#: re-wraps each result to signed 32 bits — identical to ``OpCode.evaluate``
+#: (``tests/test_opcodes.py`` pins the two tables against each other).
+#: ``LOAD``/``NOP`` have no arithmetic meaning and are not listed; shift
+#: counts are masked to 5 bits exactly like the scalar table.
+OP_VECTOR_EXPRESSIONS: Dict["OpCode", str] = {
+    OpCode.PASS: "{0}",
+    OpCode.ADD: "{0} + {1}",
+    OpCode.SUB: "{0} - {1}",
+    OpCode.MUL: "{0} * {1}",
+    OpCode.SQR: "{0} * {0}",
+    OpCode.MULADD: "{0} * {1} + {2}",
+    OpCode.MULSUB: "{0} * {1} - {2}",
+    OpCode.NEG: "-{0}",
+    OpCode.AND: "{0} & {1}",
+    OpCode.OR: "{0} | {1}",
+    OpCode.XOR: "{0} ^ {1}",
+    OpCode.NOT: "~{0}",
+    OpCode.SHL: "{0} << ({1} & 31)",
+    OpCode.SHR: "{0} >> ({1} & 31)",
+    OpCode.MIN: "np.minimum({0}, {1})",
+    OpCode.MAX: "np.maximum({0}, {1})",
+    OpCode.ABS: "np.abs({0})",
+}
+
+
 #: Compute opcodes that can appear as DFG operation nodes.
 COMPUTE_OPCODES = tuple(op for op in OpCode if op.is_compute)
 

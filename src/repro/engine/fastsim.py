@@ -547,6 +547,19 @@ class _FastFU:
 
 
 # ---------------------------------------------------------------------------
+# shared engine limits
+# ---------------------------------------------------------------------------
+def default_max_cycles(schedule: OverlaySchedule, num_blocks: int) -> int:
+    """Deadlock guard shared by the fast and batched engines.
+
+    Generous bound on a healthy run: every block can spend a full issue
+    window per stage plus pipeline slack before the run is declared wedged.
+    """
+    per_block = schedule.total_instruction_slots + schedule.total_loads + 16
+    return (num_blocks + schedule.depth + 4) * per_block + 1000
+
+
+# ---------------------------------------------------------------------------
 # analytic warm-up bound
 # ---------------------------------------------------------------------------
 def warmup_bound_blocks(schedule: OverlaySchedule) -> int:
@@ -1133,9 +1146,7 @@ class FastSimulator:
         return cycle + delta_cycles, completed + delta_blocks
 
     def _default_max_cycles(self, num_blocks: int) -> int:
-        schedule = self.schedule
-        per_block = schedule.total_instruction_slots + schedule.total_loads + 16
-        return (num_blocks + schedule.depth + 4) * per_block + 1000
+        return default_max_cycles(self.schedule, num_blocks)
 
 
 def _functional_outputs(dfg, blocks: List[List[int]]) -> List[List[int]]:

@@ -937,7 +937,8 @@ def results_to_json(results: Sequence[SweepResult], indent: int = 2) -> str:
 def render_sweep_table(results: Sequence[SweepResult]) -> str:
     """Plain-text table of sweep results (CLI output)."""
     header = (
-        f"{'kernel':10s} {'overlay':8s} {'sched':9s} {'blocks':>6s} {'II':>7s} "
+        f"{'kernel':10s} {'overlay':8s} {'sched':9s} {'engine':7s} "
+        f"{'detector':9s} {'blocks':>6s} {'II':>7s} "
         f"{'meas II':>8s} {'lat cyc':>8s} {'GOPS':>7s} {'ref':>4s} {'sim s':>8s}"
     )
     lines = [header, "-" * len(header)]
@@ -946,13 +947,14 @@ def render_sweep_table(results: Sequence[SweepResult]) -> str:
             label = "quarantined" if r.quarantined else "infeasible"
             lines.append(
                 f"{r.kernel:10s} {r.overlay_name:8s} {r.scheduler:9s} "
-                f"{label} ({r.error})"
+                f"{r.engine:7s} {r.detector:9s} {label} ({r.error})"
             )
             continue
         check = {True: "OK", False: "FAIL", None: "-"}[r.matches_reference]
         measured = "-" if r.measured_ii is None else f"{r.measured_ii:.2f}"
         lines.append(
             f"{r.kernel:10s} {r.overlay_name:8s} {r.scheduler:9s} "
+            f"{r.engine:7s} {r.detector:9s} "
             f"{r.num_blocks:6d} {r.analytic_ii:7.2f} {measured:>8s} "
             f"{r.latency_cycles:8d} {r.throughput_gops:7.3f} {check:>4s} "
             f"{r.elapsed_s:8.4f}"

@@ -379,11 +379,14 @@ def simulate_schedule(
     cycle-accurate value-level simulator (the golden reference);  ``"fast"``
     is the event-driven engine of :mod:`repro.engine.fastsim`, which produces
     an identical :class:`SimulationResult` (asserted across the whole kernel
-    library by the equivalence test suite) an order of magnitude faster.
+    library by the equivalence test suite) an order of magnitude faster;
+    ``"batched"`` is the codegen/vectorized engine of
+    :mod:`repro.engine.batchsim` (needs the optional numpy dependency),
+    bit-identical to the fast engine and faster again on long streams.
     Trace recording needs per-cycle value-level events, so ``record_trace``
-    always uses the cycle engine.  ``detector`` selects the fast engine's
-    steady-state detector (``"occupancy"``, the default, or ``"legacy"``
-    for A/B comparison); the cycle engine ignores it.
+    always uses the cycle engine.  ``detector`` selects the fast/batched
+    engines' steady-state detector (``"occupancy"``, the default, or
+    ``"legacy"`` for A/B comparison); the cycle engine ignores it.
 
     Note that the fast engine reconstructs its output stream from the same
     functional DFG evaluation the reference model uses, so for
@@ -395,13 +398,18 @@ def simulate_schedule(
     """
     from ..kernels.reference import random_input_blocks
 
-    if engine not in ("cycle", "fast"):
+    if engine not in ("cycle", "fast", "batched"):
         raise ConfigurationError(
-            f"unknown simulation engine {engine!r}; available: 'cycle', 'fast'"
+            f"unknown simulation engine {engine!r}; "
+            "available: 'cycle', 'fast', 'batched'"
         )
     if input_blocks is None:
         input_blocks = random_input_blocks(schedule.dfg, num_blocks, seed=seed)
-    if engine == "fast" and not record_trace:
+    if engine == "batched" and not record_trace:
+        from ..engine.batchsim import BatchSimulator
+
+        result = BatchSimulator(schedule, detector=detector).run(input_blocks)
+    elif engine == "fast" and not record_trace:
         from ..engine.fastsim import FastSimulator
 
         result = FastSimulator(schedule, detector=detector).run(input_blocks)

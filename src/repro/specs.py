@@ -37,7 +37,9 @@ from .overlay.architecture import DEFAULT_FIXED_DEPTH, LinearOverlay
 from .overlay.fu import get_variant
 
 #: Simulation engines understood by :func:`repro.sim.overlay.simulate_schedule`.
-ENGINES = ("cycle", "fast")
+#: ``"batched"`` needs the optional numpy dependency (the ``[batch]`` extra)
+#: and falls back to a clear ``ConfigurationError`` without it.
+ENGINES = ("cycle", "fast", "batched")
 
 #: Objectives the auto-tuner can minimise: initiation interval, negated
 #: throughput, or pipeline latency.
@@ -192,11 +194,13 @@ class SimSpec:
     Attributes
     ----------
     engine:
-        ``"cycle"`` (the cycle-accurate golden reference) or ``"fast"`` (the
-        event-driven engine, identical results).
+        ``"cycle"`` (the cycle-accurate golden reference), ``"fast"`` (the
+        event-driven engine, identical results) or ``"batched"`` (the
+        codegen + lane-batched engine, identical results; needs the optional
+        numpy ``[batch]`` extra).
     detector:
-        Fast-engine steady-state detector (``"occupancy"`` or ``"legacy"``);
-        ignored by the cycle engine.
+        Fast/batched-engine steady-state detector (``"occupancy"`` or
+        ``"legacy"``); ignored by the cycle engine.
     num_blocks:
         Data blocks in the generated input stream (when the caller does not
         provide explicit blocks).

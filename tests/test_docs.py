@@ -31,6 +31,16 @@ REQUIRED_PAGES = [
     os.path.join(DOCS_DIR, "verify.md"),
 ]
 
+#: Sections a required page must keep providing (page -> GitHub anchor
+#: slugs).  Links from other pages/tests point at these, so renaming the
+#: heading is an API break for the docs site.
+REQUIRED_ANCHORS = {
+    os.path.join(DOCS_DIR, "engine.md"): [
+        "batched-execution",
+        "steady-state-fast-forward-why-it-is-exact",
+    ],
+}
+
 _LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
 _FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
 _HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
@@ -75,6 +85,20 @@ class TestRequiredPages:
     def test_page_exists_and_is_nonempty(self, page):
         assert os.path.isfile(page), f"missing documentation page: {page}"
         assert len(_read(page).strip()) > 200, f"{page} is a stub"
+
+    @pytest.mark.parametrize(
+        "page, anchor",
+        [(p, a) for p, anchors in REQUIRED_ANCHORS.items() for a in anchors],
+        ids=[
+            f"{os.path.basename(p)}#{a}"
+            for p, anchors in REQUIRED_ANCHORS.items()
+            for a in anchors
+        ],
+    )
+    def test_required_sections_present(self, page, anchor):
+        assert anchor in _anchors(page), (
+            f"{os.path.basename(page)} lost its required #{anchor} section"
+        )
 
 
 class TestMarkdownLinks:

@@ -1,0 +1,421 @@
+"""Batched-engine contract suite (the batched-execution PR gate).
+
+Five layers of guarantees:
+
+* **bit-identity** — the batched engine (whole-loop codegen + lane-batched
+  execution, :mod:`repro.engine.batchsim`) produces results exactly equal
+  to the fast engine's across the whole kernel library on V3/V4/V5 at
+  fifo_depth in {2, 4, 8, 32} and on the critical-path overlays
+  (baseline/V1/V2), including FU stats, high-water marks and the measured
+  II, under every knob (detector, fast_forward, RF enforcement);
+* **multi-lane aggregation** — the PR 1 ``_run_multilane`` stats/high-water
+  regression holds as a shared contract for *both* engines (parameterized
+  over ``fast`` and ``batched``);
+* **plan artifacts** — per-schedule loop plans are memoised, attached to
+  compile-cache entries via ``ScheduleCache.get_batch_plan``, injectable,
+  and dropped from pickled cache entries (generated code never hits disk);
+* **optional dependency** — with numpy absent (``sys.modules`` stub in a
+  subprocess) the library imports and the default engine runs, while the
+  batched engine fails with a ``ConfigurationError`` naming the
+  ``[batch]`` extra;
+* **ride-alongs** — the service ``simulate`` op accepts
+  ``SimSpec(engine="batched")`` on the wire (unknown engines are
+  ``E_PARAMS``) and ``TuneSpec`` can pin the measurement engine with
+  identical measured results.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+from functools import lru_cache
+
+import pytest
+
+from repro.api import Toolchain
+from repro.engine.cache import ScheduleCache
+from repro.engine.fastsim import FastSimulator
+from repro.errors import ConfigurationError
+from repro.kernels import BENCHMARK_NAMES, get_kernel
+from repro.kernels.reference import random_input_blocks
+from repro.overlay.architecture import LinearOverlay
+from repro.overlay.fu import BASELINE, V1, V2, V3, V4, V5
+from repro.schedule import schedule_kernel
+from repro.sim.overlay import OverlaySimulator, simulate_schedule
+from repro.specs import OverlaySpec, SimSpec, TuneSpec
+
+try:
+    import numpy  # noqa: F401 - availability probe only
+except ImportError:
+    numpy = None
+
+needs_numpy = pytest.mark.skipif(
+    numpy is None, reason="the batched engine needs the numpy [batch] extra"
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+#: Everything the engines must agree on exactly (same list as the fast-engine
+#: equivalence suite; repeated here so this file stands alone).
+COMPARED_FIELDS = (
+    "kernel_name",
+    "overlay_name",
+    "num_blocks",
+    "outputs",
+    "completion_cycles",
+    "total_cycles",
+    "measured_ii",
+    "latency_cycles",
+    "fu_stats",
+    "fifo_high_water",
+    "rf_high_water",
+    "rf_per_block_high_water",
+)
+
+VARIANTS = {v.name.lower(): v for v in (BASELINE, V1, V2, V3, V4, V5)}
+WRITE_BACK_VARIANTS = ("v3", "v4", "v5")
+CRITICAL_PATH_VARIANTS = ("baseline", "v1", "v2")
+FIFO_DEPTHS = (2, 4, 8, 32)
+
+
+@lru_cache(maxsize=None)
+def _fixed_schedule(name, variant_name, fifo_depth, depth=8):
+    dfg = get_kernel(name)
+    overlay = LinearOverlay.fixed(VARIANTS[variant_name], depth, fifo_depth=fifo_depth)
+    return schedule_kernel(dfg, overlay)
+
+
+@lru_cache(maxsize=None)
+def _auto_schedule(name, variant_name):
+    dfg = get_kernel(name)
+    overlay = LinearOverlay.for_kernel(VARIANTS[variant_name], dfg)
+    return schedule_kernel(dfg, overlay)
+
+
+def _result_fields(result):
+    data = {}
+    for field in COMPARED_FIELDS:
+        value = getattr(result, field)
+        if field == "fu_stats":
+            value = [stats.__dict__ for stats in value]
+        data[field] = value
+    return data
+
+
+def assert_batched_identical(schedule, num_blocks, seed=3, **knobs):
+    """Run both engines on the same stream; assert exact equality."""
+    from repro.engine.batchsim import BatchSimulator
+
+    blocks = random_input_blocks(schedule.dfg, num_blocks, seed=seed)
+    fast = FastSimulator(schedule, **knobs).run(blocks)
+    batched = BatchSimulator(schedule, **knobs).run(blocks)
+    assert _result_fields(batched) == _result_fields(fast)
+    return fast, batched
+
+
+# ---------------------------------------------------------------------------
+# bit-identity with the fast engine
+# ---------------------------------------------------------------------------
+@needs_numpy
+class TestLibraryBitIdentity:
+    """Exact equality against the fast engine, library-wide."""
+
+    @pytest.mark.parametrize("fifo_depth", FIFO_DEPTHS)
+    @pytest.mark.parametrize("variant_name", WRITE_BACK_VARIANTS)
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_fixed_depth_library(self, name, variant_name, fifo_depth):
+        schedule = _fixed_schedule(name, variant_name, fifo_depth)
+        assert_batched_identical(schedule, num_blocks=20)
+
+    @pytest.mark.parametrize("variant_name", CRITICAL_PATH_VARIANTS)
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_critical_path_library(self, name, variant_name):
+        schedule = _auto_schedule(name, variant_name)
+        assert_batched_identical(schedule, num_blocks=20)
+
+    def test_legacy_detector(self):
+        schedule = _fixed_schedule("qspline", "v4", 8)
+        assert_batched_identical(schedule, num_blocks=24, detector="legacy")
+
+    def test_no_fast_forward(self):
+        schedule = _fixed_schedule("poly6", "v3", 4)
+        assert_batched_identical(schedule, num_blocks=16, fast_forward=False)
+
+    def test_rf_capacity_enforcement_off(self):
+        schedule = _fixed_schedule("poly5", "v5", 2)
+        assert_batched_identical(schedule, num_blocks=16, enforce_rf_capacity=False)
+
+    def test_long_stream_deep_backpressure(self):
+        schedule = _fixed_schedule("poly7", "v4", 8)
+        assert_batched_identical(schedule, num_blocks=400)
+
+    @pytest.mark.parametrize("num_blocks", [1, 2, 3, 9])
+    def test_multilane_odd_splits(self, num_blocks):
+        # V2 is dual-lane: block streams deal round-robin across lanes, so
+        # odd counts exercise the unequal-lane-length timing dedup.
+        schedule = _auto_schedule("qspline", "v2")
+        assert schedule.overlay.variant.lanes == 2
+        assert_batched_identical(schedule, num_blocks=num_blocks)
+
+    def test_engine_knob_selects_batched(self):
+        schedule = _auto_schedule("gradient", "v1")
+        batched = simulate_schedule(schedule, num_blocks=10, engine="batched")
+        fast = simulate_schedule(schedule, num_blocks=10, engine="fast")
+        assert batched.matches_reference
+        assert _result_fields(batched) == _result_fields(fast)
+
+    def test_unknown_engine_rejected(self):
+        schedule = _auto_schedule("gradient", "v1")
+        with pytest.raises(ConfigurationError):
+            simulate_schedule(schedule, num_blocks=4, engine="warp")
+
+    def test_unknown_detector_rejected(self):
+        from repro.engine.batchsim import BatchSimulator
+
+        schedule = _auto_schedule("gradient", "v1")
+        with pytest.raises(ConfigurationError):
+            BatchSimulator(schedule, detector="psychic")
+
+
+# ---------------------------------------------------------------------------
+# multi-lane stats aggregation: shared contract for both engines
+# ---------------------------------------------------------------------------
+@needs_numpy
+class TestMultilaneAggregationContract:
+    """The PR 1 multilane regression, parameterized over both engines:
+    merged stats are per-lane sums and high-water marks are lane maxima,
+    with the cycle-accurate per-lane runs as the oracle."""
+
+    @staticmethod
+    def _merged(schedule, blocks, engine):
+        if engine == "fast":
+            return FastSimulator(schedule).run(blocks)
+        from repro.engine.batchsim import BatchSimulator
+
+        return BatchSimulator(schedule).run(blocks)
+
+    @pytest.mark.parametrize("engine", ["fast", "batched"])
+    def test_stats_aggregate_across_lanes(self, engine):
+        schedule = _auto_schedule("qspline", "v2")
+        blocks = random_input_blocks(schedule.dfg, 16, seed=0)
+        merged = self._merged(schedule, blocks, engine)
+        lane0 = OverlaySimulator(schedule)._run_single_lane(blocks[0::2])
+        lane1 = OverlaySimulator(schedule)._run_single_lane(blocks[1::2])
+        for k in range(schedule.depth):
+            assert (
+                merged.fu_stats[k].loads_issued
+                == lane0.fu_stats[k].loads_issued + lane1.fu_stats[k].loads_issued
+            )
+            assert (
+                merged.fu_stats[k].instructions_issued
+                == lane0.fu_stats[k].instructions_issued
+                + lane1.fu_stats[k].instructions_issued
+            )
+
+    @pytest.mark.parametrize("engine", ["fast", "batched"])
+    def test_high_water_marks_take_lane_maximum(self, engine):
+        schedule = _auto_schedule("qspline", "v2")
+        blocks = random_input_blocks(schedule.dfg, 9, seed=0)  # uneven lanes
+        merged = self._merged(schedule, blocks, engine)
+        lane0 = OverlaySimulator(schedule)._run_single_lane(blocks[0::2])
+        lane1 = OverlaySimulator(schedule)._run_single_lane(blocks[1::2])
+        for i in range(len(merged.fifo_high_water)):
+            assert merged.fifo_high_water[i] == max(
+                lane0.fifo_high_water[i], lane1.fifo_high_water[i]
+            )
+        for i in range(len(merged.rf_high_water)):
+            assert merged.rf_high_water[i] == max(
+                lane0.rf_high_water[i], lane1.rf_high_water[i]
+            )
+
+
+# ---------------------------------------------------------------------------
+# plan artifacts: memoisation, cache attachment, pickling
+# ---------------------------------------------------------------------------
+@needs_numpy
+class TestPlanArtifacts:
+    def test_plans_are_memoised_per_schedule_object(self):
+        from repro.engine.batchsim import plan_for
+
+        a = _fixed_schedule("gradient", "v3", 8)
+        b = _fixed_schedule("chebyshev", "v3", 8)
+        assert plan_for(a) is plan_for(a)
+        assert plan_for(a) is not plan_for(b)
+
+    def test_plan_holds_compiled_loop_and_source(self):
+        from repro.engine.batchsim import plan_for
+
+        plan = plan_for(_fixed_schedule("gradient", "v3", 8))
+        assert callable(plan.loop)
+        assert "def _batch_loop" in plan.loop_source
+
+    def test_injected_plan_is_used_and_identical(self):
+        from repro.engine.batchsim import BatchSimulator, plan_for
+
+        schedule = _fixed_schedule("mibench", "v4", 4)
+        plan = plan_for(schedule)
+        blocks = random_input_blocks(schedule.dfg, 12, seed=1)
+        injected = BatchSimulator(schedule, plan=plan)
+        assert injected.plan is plan
+        default = BatchSimulator(schedule).run(blocks)
+        assert _result_fields(injected.run(blocks)) == _result_fields(default)
+
+    def test_cache_attaches_one_plan_per_entry(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v3"))
+        first = tc.cache.get_batch_plan(handle.key)
+        assert first is not None
+        assert tc.cache.get_batch_plan(handle.key) is first
+
+    def test_unknown_key_yields_no_plan(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v3"))
+        assert ScheduleCache().get_batch_plan(handle.key) is None
+
+    def test_simulate_warms_the_cached_plan(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v3"))
+        entry = tc.cache.peek(handle.key)
+        assert entry.batch_plan is None
+        result = tc.simulate(handle, SimSpec(engine="batched", num_blocks=8))
+        assert result.matches_reference
+        assert tc.cache.peek(handle.key).batch_plan is not None
+
+    def test_pickled_cache_entries_drop_the_plan(self):
+        tc = Toolchain(cache=ScheduleCache())
+        handle = tc.compile("gradient", OverlaySpec("v3"))
+        tc.cache.get_batch_plan(handle.key)
+        entry = tc.cache.peek(handle.key)
+        assert entry.batch_plan is not None
+        revived = pickle.loads(pickle.dumps(entry))
+        assert revived.batch_plan is None
+        # ... and the original keeps its in-memory plan.
+        assert entry.batch_plan is not None
+
+
+# ---------------------------------------------------------------------------
+# optional dependency: the library must not need numpy
+# ---------------------------------------------------------------------------
+class TestNumpyAbsent:
+    """With numpy stubbed out of sys.modules, imports and the default
+    engine work; only the batched engine refuses, pointing at [batch]."""
+
+    def test_library_runs_without_numpy(self):
+        script = textwrap.dedent(
+            """
+            import sys
+            sys.modules["numpy"] = None  # import numpy -> ImportError
+            sys.path.insert(0, {src!r})
+
+            from repro import Toolchain
+            from repro.errors import ConfigurationError
+            from repro.specs import OverlaySpec, SimSpec
+
+            tc = Toolchain()
+            handle = tc.compile("gradient", OverlaySpec("v1"))
+            result = tc.simulate(handle, SimSpec(num_blocks=6))
+            assert result.matches_reference
+
+            spec = SimSpec(engine="batched", num_blocks=6)  # spec needs no numpy
+            try:
+                tc.simulate(handle, spec)
+            except ConfigurationError as error:
+                assert "[batch]" in str(error), error
+            else:
+                raise AssertionError("batched engine ran without numpy")
+            print("NUMPY-ABSENT-OK")
+            """
+        ).format(src=SRC_DIR)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "NUMPY-ABSENT-OK" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# service ride-along: engine selection over the wire
+# ---------------------------------------------------------------------------
+class TestServiceEngineSelection:
+    @pytest.fixture()
+    def client(self):
+        from repro.service.client import InProcessClient
+        from repro.service.server import OverlayService
+
+        return InProcessClient(OverlayService(capacity=64, shards=4))
+
+    @needs_numpy
+    def test_batched_row_matches_fast_row(self, client):
+        fast = client.simulate(
+            "gradient", OverlaySpec(variant="v3"), sim=SimSpec(engine="fast")
+        )
+        batched = client.simulate(
+            "gradient", OverlaySpec(variant="v3"), sim=SimSpec(engine="batched")
+        )
+        assert batched == fast
+        assert batched["matches_reference"]
+
+    def test_unknown_engine_is_E_PARAMS(self, client):
+        from repro.service.protocol import E_PARAMS, ServiceError
+
+        with pytest.raises(ServiceError) as err:
+            client.request(
+                "simulate",
+                {
+                    "kernel": "gradient",
+                    "overlay": {"variant": "v3"},
+                    "sim": {"engine": "warp"},
+                },
+            )
+        assert err.value.code == E_PARAMS
+
+
+# ---------------------------------------------------------------------------
+# tuner ride-along: pinning the measurement engine
+# ---------------------------------------------------------------------------
+@needs_numpy
+class TestTuneEnginePin:
+    def test_batched_measurements_match_fast(self):
+        from repro.tune import tune
+
+        def _tune(engine):
+            spec = TuneSpec(
+                kernel="gradient",
+                variants=("v1", "v3"),
+                schedulers=("clustered",),
+                budget=2,
+                jobs=1,
+                sim=SimSpec(engine=engine, num_blocks=12),
+            )
+            return tune(spec, toolchain=Toolchain(cache=ScheduleCache()))
+
+        fast, batched = _tune("fast"), _tune("batched")
+        assert batched.spec.sim.engine == "batched"
+        measured = [
+            (
+                c.overlay.variant,
+                c.simulated,
+                c.measured_ii,
+                c.measured_cycles,
+                c.measured_latency_cycles,
+                c.measured_gops,
+            )
+            for c in batched.candidates
+        ]
+        assert measured == [
+            (
+                c.overlay.variant,
+                c.simulated,
+                c.measured_ii,
+                c.measured_cycles,
+                c.measured_latency_cycles,
+                c.measured_gops,
+            )
+            for c in fast.candidates
+        ]
+        assert batched.best.overlay == fast.best.overlay

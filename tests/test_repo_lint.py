@@ -26,6 +26,7 @@ SCOPE = [
     os.path.join(SRC, "schedule", "registry.py"),
     os.path.join(SRC, "service"),
     os.path.join(SRC, "verify"),
+    os.path.join(SRC, "engine", "batchsim.py"),
 ]
 
 
